@@ -1,0 +1,155 @@
+"""Shared benchmark harness: table printing, drivers, setup helpers.
+
+Every ``benchmarks/test_fig*.py`` regenerates one figure/table of the
+paper.  Results print as aligned tables (the rows/series the paper
+plots); assertions pin the *shape* the paper reports — who wins, by
+roughly what factor, where the knees fall — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster import Cluster
+from repro.core import LiteContext, lite_boot
+from repro.hw import DEFAULT_PARAMS, SimParams
+from repro.verbs import Access, Opcode, SendWR, Sge
+
+__all__ = [
+    "print_table",
+    "fmt",
+    "lite_pair",
+    "verbs_pair",
+    "latency_of",
+    "throughput_run",
+    "RESULTS",
+]
+
+# Collected (figure, table) results, so a full benchmark run can be
+# exported into EXPERIMENTS.md by tools/collect_results.py.
+RESULTS: Dict[str, dict] = {}
+
+
+def fmt(value, digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence],
+                note: str = "") -> None:
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in str_rows)) if str_rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    if note:
+        print(f"({note})")
+    RESULTS[title] = {"headers": list(headers), "rows": rows, "note": note}
+
+
+# ---------------------------------------------------------------- setup --
+
+
+def lite_pair(params: Optional[SimParams] = None, n_nodes: int = 2):
+    """A booted LITE cluster plus one user context per node."""
+    cluster = Cluster(n_nodes, params=params)
+    kernels = lite_boot(cluster)
+    contexts = [LiteContext(k, f"bench{k.lite_id}") for k in kernels]
+    return cluster, kernels, contexts
+
+
+def verbs_pair(params: Optional[SimParams] = None, mr_bytes: int = 1 << 20,
+               n_nodes: int = 2):
+    """Two nodes with connected RC QPs and one registered MR each."""
+    cluster = Cluster(n_nodes, params=params)
+    state = {}
+
+    def setup():
+        a, b = cluster[0], cluster[1]
+        pd_a, pd_b = a.device.alloc_pd(), b.device.alloc_pd()
+        state["mr_a"] = yield from a.device.reg_mr(pd_a, mr_bytes, Access.ALL)
+        state["mr_b"] = yield from b.device.reg_mr(pd_b, mr_bytes, Access.ALL)
+        state["qa"] = a.device.create_qp(pd_a, "RC", send_cq=None)
+        state["qb"] = b.device.create_qp(pd_b, "RC", send_cq=None)
+        a.device.connect(state["qa"], state["qb"])
+        state["pd_a"], state["pd_b"] = pd_a, pd_b
+
+    cluster.run_process(setup())
+    state["cluster"] = cluster
+    return state
+
+
+# -------------------------------------------------------------- drivers --
+
+
+def latency_of(cluster, op_factory: Callable[[], object], count: int = 200,
+               warmup: int = 20) -> float:
+    """Average latency of ``count`` sequential ops (µs).
+
+    ``op_factory()`` must return a fresh generator per call.
+    """
+    sim = cluster.sim
+    samples: List[float] = []
+
+    def driver():
+        for _ in range(warmup):
+            yield from op_factory()
+        for _ in range(count):
+            start = sim.now
+            yield from op_factory()
+            samples.append(sim.now - start)
+
+    cluster.run_process(driver())
+    return statistics.fmean(samples)
+
+
+def throughput_run(cluster, op_factory: Callable[[], object],
+                   n_workers: int = 16, duration_us: float = 2000.0,
+                   warmup_us: float = 200.0):
+    """Sustained op rate: ``n_workers`` blocking loops over a window.
+
+    Returns (ops_per_us, bytes_independent completions count).
+    """
+    sim = cluster.sim
+    counted = [0]
+    stop_at = [0.0]
+
+    def worker():
+        while sim.now < stop_at[0]:
+            yield from op_factory()
+            if sim.now >= stop_at[0] - duration_us:
+                counted[0] += 1
+
+    def driver():
+        stop_at[0] = sim.now + warmup_us + duration_us
+        procs = [sim.process(worker()) for _ in range(n_workers)]
+        yield sim.all_of(procs)
+
+    cluster.run_process(driver())
+    return counted[0] / duration_us, counted[0]
+
+
+def verbs_write_op(state, size: int, remote_offset: int = 0):
+    """Generator factory body for one RC write on a verbs_pair state."""
+    wr = SendWR(
+        Opcode.WRITE,
+        sgl=[Sge(state["mr_a"], 0, size)],
+        remote_addr=state["mr_b"].base_addr + remote_offset,
+        rkey=state["mr_b"].rkey,
+        signaled=False,
+    )
+    status = yield state["qa"].post_send(wr)
+    return status

@@ -1,0 +1,100 @@
+"""Figure 4: RDMA write latency vs number of (L)MRs.
+
+Each (L)MR is 4 KB; each write is 64 B to a randomly-chosen region.
+Native Verbs degrades once the MR count exceeds the RNIC's key-cache
+SRAM (~100 records) because every operation must fetch the MR record
+from host memory; LITE uses one global physical MR, so its latency is
+flat no matter how many LMRs exist.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Permission
+from repro.verbs import Access, Opcode, SendWR, Sge
+
+from .common import latency_of, lite_pair, print_table, verbs_pair
+
+MR_COUNTS = [10, 100, 1_000, 10_000, 100_000]
+WRITE_SIZE = 64
+MR_BYTES = 4096
+
+
+def verbs_latency(n_mrs: int) -> float:
+    state = verbs_pair(mr_bytes=4096)
+    cluster = state["cluster"]
+    remote = cluster[1]
+
+    mrs = []
+
+    def register():
+        for _ in range(n_mrs):
+            mr = yield from remote.device.reg_mr(
+                state["pd_b"], MR_BYTES, Access.ALL
+            )
+            mrs.append(mr)
+
+    cluster.run_process(register())
+    rng = random.Random(4)
+
+    def op():
+        mr = mrs[rng.randrange(len(mrs))]
+        wr = SendWR(
+            Opcode.WRITE,
+            sgl=[Sge(state["mr_a"], 0, WRITE_SIZE)],
+            remote_addr=mr.base_addr,
+            rkey=mr.rkey,
+            signaled=False,
+        )
+        yield state["qa"].post_send(wr)
+
+    return latency_of(cluster, op, count=400, warmup=20)
+
+
+def lite_latency(n_lmrs: int) -> float:
+    cluster, _kernels, contexts = lite_pair()
+    ctx = contexts[0]
+    handles = []
+
+    def setup():
+        for index in range(n_lmrs):
+            lh = yield from ctx.lt_malloc(MR_BYTES, nodes=2)
+            handles.append(lh)
+
+    cluster.run_process(setup())
+    rng = random.Random(4)
+    payload = b"x" * WRITE_SIZE
+
+    def op():
+        lh = handles[rng.randrange(len(handles))]
+        yield from ctx.lt_write(lh, 0, payload)
+
+    return latency_of(cluster, op, count=400, warmup=20)
+
+
+def run_fig04():
+    rows = []
+    for count in MR_COUNTS:
+        rows.append((count, lite_latency(count), verbs_latency(count)))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_write_latency_vs_mr_count(benchmark):
+    rows = benchmark.pedantic(run_fig04, rounds=1, iterations=1)
+    print_table(
+        "Figure 4: 64B write latency vs #(L)MRs (us)",
+        ["#MRs", "LITE_write", "Verbs write"],
+        rows,
+        note="paper: Verbs rises past ~100 MRs; LITE flat",
+    )
+    lite = {count: value for count, value, _ in rows}
+    verbs = {count: value for count, _, value in rows}
+    # LITE is flat: <15% swing across 4 decades of LMR count.
+    assert max(lite.values()) < 1.15 * min(lite.values())
+    # Verbs fast while MRs fit SRAM, then degrades >=2x.
+    assert verbs[100_000] > 2.0 * verbs[10]
+    # Crossover: LITE wins at scale, Verbs wins when tiny.
+    assert lite[100_000] < verbs[100_000]
+    assert verbs[10] < lite[10]

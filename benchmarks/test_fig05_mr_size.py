@@ -1,0 +1,111 @@
+"""Figure 5: RDMA write throughput vs total (L)MR size.
+
+One region per run; random-offset writes of 64 B and 1 KB.  Native
+Verbs thrashes the RNIC's PTE cache once the registered region exceeds
+its reach (~4 MB), collapsing throughput; LITE's physical-address
+global MR needs no PTEs, so throughput is flat up to 1 GB.
+"""
+
+import random
+
+import pytest
+
+from repro.verbs import Access, Opcode, SendWR, Sge
+
+from .common import lite_pair, print_table, throughput_run, verbs_pair
+
+MB = 1 << 20
+SIZES = [1 * MB, 4 * MB, 16 * MB, 64 * MB, 256 * MB, 1024 * MB]
+DURATION_US = 800.0
+WORKERS = 24
+
+
+def verbs_throughput(total_size: int, write_size: int) -> float:
+    state = verbs_pair(mr_bytes=4096)
+    cluster = state["cluster"]
+    remote = cluster[1]
+    target = {}
+
+    def register():
+        target["mr"] = yield from remote.device.reg_mr(
+            state["pd_b"], total_size, Access.ALL
+        )
+
+    cluster.run_process(register())
+    mr = target["mr"]
+    rng = random.Random(5)
+    span = total_size - write_size
+
+    def op():
+        offset = rng.randrange(span)
+        wr = SendWR(
+            Opcode.WRITE,
+            sgl=[Sge(state["mr_a"], 0, write_size)],
+            remote_addr=mr.base_addr + offset,
+            rkey=mr.rkey,
+            signaled=False,
+        )
+        yield state["qa"].post_send(wr)
+
+    rate, _count = throughput_run(
+        cluster, op, n_workers=WORKERS, duration_us=DURATION_US
+    )
+    return rate
+
+
+def lite_throughput(total_size: int, write_size: int) -> float:
+    cluster, _kernels, contexts = lite_pair()
+    ctx = contexts[0]
+    holder = {}
+
+    def setup():
+        holder["lh"] = yield from ctx.lt_malloc(total_size, nodes=2)
+
+    cluster.run_process(setup())
+    lh = holder["lh"]
+    rng = random.Random(5)
+    span = total_size - write_size
+    payload = b"y" * write_size
+
+    def op():
+        yield from ctx.lt_write(lh, rng.randrange(span), payload)
+
+    rate, _count = throughput_run(
+        cluster, op, n_workers=WORKERS, duration_us=DURATION_US
+    )
+    return rate
+
+
+def run_fig05():
+    rows = []
+    for size in SIZES:
+        rows.append(
+            (
+                size // MB,
+                lite_throughput(size, 1024),
+                verbs_throughput(size, 1024),
+                lite_throughput(size, 64),
+                verbs_throughput(size, 64),
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_write_throughput_vs_mr_size(benchmark):
+    rows = benchmark.pedantic(run_fig05, rounds=1, iterations=1)
+    print_table(
+        "Figure 5: write throughput vs total (L)MR size (requests/us)",
+        ["size_MB", "LITE-1K", "Verbs-1K", "LITE-64B", "Verbs-64B"],
+        rows,
+        note="paper: Verbs collapses past 4 MB (PTE thrash); LITE flat",
+    )
+    by_size = {row[0]: row for row in rows}
+    # LITE flat within 20% across three decades, for both sizes.
+    lite_64 = [row[3] for row in rows]
+    assert max(lite_64) < 1.2 * min(lite_64)
+    # Verbs collapses >=2.5x from 1 MB to 1 GB.
+    assert by_size[1][4] > 2.5 * by_size[1024][4]
+    assert by_size[1][2] > 2.0 * by_size[1024][2]
+    # At 1 GB LITE clearly wins.
+    assert by_size[1024][3] > 1.5 * by_size[1024][4]

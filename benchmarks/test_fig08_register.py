@@ -1,0 +1,96 @@
+"""Figure 8: (de)registration / (un)map latency vs region size.
+
+Verbs ``ibv_reg_mr`` walks and pins every page (cost linear in size);
+deregistration unpins them.  LITE's LT_map/LT_unmap only touch kernel
+metadata — no pinning — so they are flat and orders of magnitude
+cheaper for large regions.
+"""
+
+import pytest
+
+from repro.core import Permission
+from repro.verbs import Access
+
+from .common import lite_pair, print_table, verbs_pair
+
+KB = 1024
+SIZES = [1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB, 1024 * KB]
+
+
+def verbs_register_costs(size: int):
+    state = verbs_pair(mr_bytes=4096)
+    cluster = state["cluster"]
+    sim = cluster.sim
+    samples = {"reg": [], "dereg": []}
+
+    def driver():
+        for _ in range(20):
+            start = sim.now
+            mr = yield from cluster[0].device.reg_mr(
+                state["pd_a"], size, Access.ALL
+            )
+            samples["reg"].append(sim.now - start)
+            start = sim.now
+            yield from cluster[0].device.dereg_mr(mr)
+            samples["dereg"].append(sim.now - start)
+
+    cluster.run_process(driver())
+    return (
+        sum(samples["reg"]) / len(samples["reg"]),
+        sum(samples["dereg"]) / len(samples["dereg"]),
+    )
+
+
+def lite_map_costs(size: int):
+    cluster, _kernels, contexts = lite_pair()
+    ctx = contexts[0]
+    sim = cluster.sim
+    samples = {"map": [], "unmap": []}
+
+    def driver():
+        # The paper's Fig 8 maps a *local* LMR.
+        yield from ctx.lt_malloc(size, name=f"fig8-{size}")
+        for _ in range(20):
+            start = sim.now
+            lh = yield from ctx.lt_map(f"fig8-{size}", Permission.full())
+            samples["map"].append(sim.now - start)
+            start = sim.now
+            yield from ctx.lt_unmap(lh)
+            samples["unmap"].append(sim.now - start)
+
+    cluster.run_process(driver())
+    return (
+        sum(samples["map"]) / len(samples["map"]),
+        sum(samples["unmap"]) / len(samples["unmap"]),
+    )
+
+
+def run_fig08():
+    rows = []
+    for size in SIZES:
+        reg, dereg = verbs_register_costs(size)
+        lt_map, lt_unmap = lite_map_costs(size)
+        rows.append((size // KB, reg, dereg, lt_unmap, lt_map))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_registration_latency(benchmark):
+    rows = benchmark.pedantic(run_fig08, rounds=1, iterations=1)
+    print_table(
+        "Figure 8: (de)register / (un)map latency vs size (us)",
+        ["size_KB", "Verbs register", "Verbs deregister", "LITE_unmap",
+         "LITE_map"],
+        rows,
+        note="paper: register/deregister grow with pages; map/unmap flat",
+    )
+    first, last = rows[0], rows[-1]
+    # Verbs registration grows ~linearly with page count (1 KB -> 1 MB
+    # is 256x the pages; expect >= 30x the cost).
+    assert last[1] > 30 * first[1]
+    assert last[2] > 10 * first[2]
+    # LITE map/unmap are flat: no dependence on region size.
+    assert last[4] < 2 * first[4]
+    assert last[3] < 2 * first[3]
+    # At 1 MB, LITE map is >= 10x faster than Verbs registration.
+    assert last[1] > 10 * last[4]

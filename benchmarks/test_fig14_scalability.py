@@ -1,0 +1,127 @@
+"""Figure 14: LITE one-sided and RPC throughput vs cluster size (2-8).
+
+Every node runs 8 threads doing 64 B LT_writes (or 64 B -> 8 B LT_RPCs)
+to all other nodes.  With K×N shared QPs and per-node RNICs, aggregate
+throughput scales near-linearly with node count.
+"""
+
+import pytest
+
+from repro.core import LiteContext, rpc_server_loop
+
+from .common import lite_pair, print_table
+
+THREADS_PER_NODE = 8
+DURATION_US = 1000.0
+
+
+def write_scalability(n_nodes: int) -> float:
+    cluster, kernels, contexts = lite_pair(n_nodes=n_nodes)
+    sim = cluster.sim
+    handles = {}
+
+    def setup():
+        from repro.core import Permission
+
+        # One world-writable buffer per node; everyone maps the rest.
+        for kernel, ctx in zip(kernels, contexts):
+            yield from ctx.lt_malloc(
+                1 << 16, name=f"buf{kernel.lite_id}",
+                default_perm=Permission.READ | Permission.WRITE,
+            )
+        for ctx in contexts:
+            maps = {}
+            for kernel in kernels:
+                if kernel.lite_id != ctx.lite_id:
+                    maps[kernel.lite_id] = yield from ctx.lt_map(
+                        f"buf{kernel.lite_id}"
+                    )
+            handles[ctx.lite_id] = maps
+
+    cluster.run_process(setup())
+    counted = [0]
+    stop_at = [0.0]
+    payload = b"w" * 64
+
+    def worker(ctx, targets, index):
+        order = list(targets.items())
+        while sim.now < stop_at[0]:
+            _peer, lh = order[index % len(order)]
+            index += 1
+            yield from ctx.lt_write(lh, (index * 64) % 4096, payload)
+            counted[0] += 1
+
+    def driver():
+        stop_at[0] = sim.now + DURATION_US
+        procs = []
+        for ctx in contexts:
+            for thread in range(THREADS_PER_NODE):
+                procs.append(
+                    sim.process(worker(ctx, handles[ctx.lite_id], thread))
+                )
+        yield sim.all_of(procs)
+
+    cluster.run_process(driver())
+    return counted[0] / DURATION_US
+
+
+def rpc_scalability(n_nodes: int) -> float:
+    cluster, kernels, contexts = lite_pair(n_nodes=n_nodes)
+    sim = cluster.sim
+    for kernel in kernels:
+        for index in range(THREADS_PER_NODE):
+            server = LiteContext(kernel, f"srv{kernel.lite_id}-{index}")
+            sim.process(rpc_server_loop(server, 1, lambda _in: b"r" * 8))
+    cluster.run_process(_settle(cluster))
+    counted = [0]
+    stop_at = [0.0]
+
+    def worker(ctx, peers, index):
+        while sim.now < stop_at[0]:
+            target = peers[index % len(peers)]
+            index += 1
+            yield from ctx.lt_rpc(target, 1, b"q" * 64, max_reply=64)
+            counted[0] += 1
+
+    def driver():
+        stop_at[0] = sim.now + DURATION_US
+        procs = []
+        for ctx in contexts:
+            peers = [k.lite_id for k in kernels if k.lite_id != ctx.lite_id]
+            for thread in range(THREADS_PER_NODE):
+                procs.append(sim.process(worker(ctx, peers, thread)))
+        yield sim.all_of(procs)
+
+    cluster.run_process(driver())
+    return counted[0] / DURATION_US
+
+
+def _settle(cluster):
+    yield cluster.sim.timeout(5)
+
+
+def run_fig14():
+    rows = []
+    for n_nodes in (2, 4, 6, 8):
+        rows.append((n_nodes, write_scalability(n_nodes),
+                     rpc_scalability(n_nodes)))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_scalability(benchmark):
+    rows = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    print_table(
+        "Figure 14: aggregate throughput vs cluster size (requests/us)",
+        ["nodes", "LT_write", "LT_RPC"],
+        rows,
+        note="8 threads/node, 64B writes / 64B->8B RPCs",
+    )
+    writes = {n: w for n, w, _ in rows}
+    rpcs = {n: r for n, _, r in rows}
+    # Near-linear scaling 2 -> 8 nodes (>= 3x for 4x the nodes).
+    assert writes[8] > 3.0 * writes[2]
+    assert rpcs[8] > 3.0 * rpcs[2]
+    # Monotonic growth.
+    assert sorted(writes.values()) == [writes[n] for n in (2, 4, 6, 8)]
+    assert sorted(rpcs.values()) == [rpcs[n] for n in (2, 4, 6, 8)]

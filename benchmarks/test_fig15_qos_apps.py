@@ -1,0 +1,142 @@
+"""Figure 15: QoS with real applications (LITE-Log and LITE-Graph).
+
+LITE-Log (network-bound commits) and LITE-Graph (CPU-heavy PageRank)
+run at high priority against constant low-priority background writers.
+Bars are performance normalized to the No-QoS run (higher is better),
+plus the no-background-traffic ceiling.
+
+Expected: SW-Pri recovers most of the no-background performance;
+HW-Sep helps but less; LITE-Graph is less affected than LITE-Log
+because it is more CPU-intensive (paper §6.2).
+"""
+
+import pytest
+
+from repro.apps.graph import LiteGraph, PartitionedGraph
+from repro.apps.litelog import LiteLog, LogWriter
+from repro.core import PRIORITY_HIGH, PRIORITY_LOW, LiteContext, Permission
+from repro.hw import SimParams
+from repro.workloads import powerlaw_graph
+
+from .common import lite_pair, print_table
+
+QOS_PARAMS = SimParams(lite_qp_factor_k=4, lite_qp_window=4)
+LOG_WINDOW_US = 4_000.0
+
+
+def _background(cluster, kernels, stop_flag):
+    """Low-priority writers hammering every node with 4 KB writes."""
+    sim = cluster.sim
+
+    def setup():
+        creator = LiteContext(kernels[0], "bg-creator")
+        for kernel in kernels[1:]:
+            yield from creator.lt_malloc(
+                1 << 18, name=f"bg{kernel.lite_id}", nodes=kernel.lite_id,
+                default_perm=Permission.READ | Permission.WRITE,
+            )
+
+    cluster.run_process(setup())
+
+    def bg_thread(index):
+        ctx = LiteContext(kernels[0], f"bg{index}", priority=PRIORITY_LOW)
+        target = kernels[1 + index % (len(kernels) - 1)].lite_id
+        lh = yield from ctx.lt_map(f"bg{target}")
+        payload = b"b" * 4096
+        while not stop_flag:
+            yield from ctx.lt_write(lh, 0, payload)
+
+    for index in range(12):
+        sim.process(bg_thread(index))
+
+
+def litelog_perf(mode, background: bool) -> float:
+    cluster, kernels, _ = lite_pair(params=QOS_PARAMS, n_nodes=4)
+    for kernel in kernels:
+        kernel.qos.mode = mode
+    sim = cluster.sim
+    stop_flag = []
+    if background:
+        _background(cluster, kernels, stop_flag)
+    committed = [0]
+
+    def writer(node_index, writer_id):
+        ctx = LiteContext(
+            kernels[node_index], f"log{writer_id}", priority=PRIORITY_HIGH
+        )
+        log = yield from LiteLog.open(ctx, "qlog")
+        writer_obj = LogWriter(log, writer_id=writer_id)
+        end = sim.now + LOG_WINDOW_US
+        while sim.now < end:
+            writer_obj.append(b"x" * 64)
+            yield from writer_obj.commit()
+            committed[0] += 1
+
+    def driver():
+        creator = LiteContext(kernels[0], "log-creator", priority=PRIORITY_HIGH)
+        yield from LiteLog.create(creator, "qlog", 1 << 22, home_node=2)
+        yield sim.timeout(200)  # let background traffic ramp
+        procs = [
+            sim.process(writer(node_index, node_index * 4 + thread))
+            for node_index in (0, 3)
+            for thread in range(4)
+        ]
+        yield sim.all_of(procs)
+        stop_flag.append(True)
+
+    cluster.run_process(driver())
+    return committed[0] / LOG_WINDOW_US  # commits per us
+
+
+def litegraph_perf(mode, background: bool) -> float:
+    cluster, kernels, _ = lite_pair(params=QOS_PARAMS, n_nodes=4)
+    for kernel in kernels:
+        kernel.qos.mode = mode
+    stop_flag = []
+    if background:
+        _background(cluster, kernels, stop_flag)
+    edges = powerlaw_graph(400, 6, seed=15)
+    graph = PartitionedGraph(400, edges, 4)
+    engine = LiteGraph(kernels, graph, threads_per_node=4)
+
+    def driver():
+        yield cluster.sim.timeout(200)
+        yield from engine.run(4)
+        stop_flag.append(True)
+
+    cluster.run_process(driver())
+    return 1.0 / engine.elapsed_us  # higher is better
+
+
+def run_fig15():
+    rows = []
+    for app_name, runner in (("LITE-Log", litelog_perf),
+                             ("LITE-Graph", litegraph_perf)):
+        baseline = runner(None, background=True)        # No QoS
+        no_bg = runner(None, background=False)
+        sw = runner("sw-pri", background=True)
+        hw = runner("hw-sep", background=True)
+        rows.append(
+            (app_name, no_bg / baseline, sw / baseline, hw / baseline, 1.0)
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_qos_real_apps(benchmark):
+    rows = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+    print_table(
+        "Figure 15: QoS with real applications (performance vs No-QoS)",
+        ["app", "No b/g traffic", "SW-Pri", "HW-Sep", "No QoS"],
+        rows,
+    )
+    for app, no_bg, sw, hw, _base in rows:
+        # Background traffic hurts: the clean run is the ceiling.
+        assert no_bg > 1.05
+        # SW-Pri recovers a large share of the ceiling, beating HW-Sep.
+        assert sw > hw * 0.95
+        assert sw > 1.02
+    log_row = rows[0]
+    graph_row = rows[1]
+    # LITE-Graph (CPU-bound) is less affected by QoS than LITE-Log.
+    assert (log_row[1] - 1.0) > (graph_row[1] - 1.0) * 0.9

@@ -1,0 +1,154 @@
+"""Figure 16: QoS timeline under the synthetic high/low-priority mix.
+
+Scaled 1000:1 in time (ms of simulation per second of paper run):
+20 low-priority threads run throughout (4 KB/8 KB reads and writes);
+at t=2 ms, 20 high-priority threads join (4 KB ops); at t=12 ms high
+threads pause and 8 of them resume at t=14 ms.  Sampled in 1 ms buckets.
+
+Expected shape (paper):
+- No QoS: high-priority gets only ~half the bandwidth while active.
+- SW-Pri: high-priority near its no-contention rate AND best aggregate.
+- HW-Sep: protects high-priority, but its reserved QPs idle when the
+  high class is quiet, so aggregate bandwidth is the worst.
+"""
+
+import pytest
+
+from repro.core import PRIORITY_HIGH, PRIORITY_LOW, LiteContext, Permission
+from repro.hw import SimParams
+
+from .common import lite_pair, print_table
+
+RUNTIME_US = 20_000.0
+BUCKET_US = 1_000.0
+HIGH_START = 2_000.0
+HIGH_PAUSE = 12_000.0
+HIGH_RESUME = 14_000.0
+
+QOS_PARAMS = SimParams(lite_qp_factor_k=4, lite_qp_window=4)
+
+
+def run_mode(mode):
+    cluster, kernels, _ = lite_pair(params=QOS_PARAMS)
+    for kernel in kernels:
+        kernel.qos.mode = mode
+    sim = cluster.sim
+    n_buckets = int(RUNTIME_US / BUCKET_US)
+    high_bytes = [0.0] * n_buckets
+    total_bytes = [0.0] * n_buckets
+    holder = {}
+
+    def setup():
+        creator = LiteContext(kernels[0], "creator")
+        holder["lh"] = yield from creator.lt_malloc(
+            1 << 20, name="qos-target", nodes=2,
+            default_perm=Permission.READ | Permission.WRITE,
+        )
+
+    cluster.run_process(setup())
+    lh = holder["lh"]
+    start_time = sim.now
+
+    def record(size, priority):
+        bucket = int((sim.now - start_time) / BUCKET_US)
+        if 0 <= bucket < n_buckets:
+            total_bytes[bucket] += size
+            if priority == PRIORITY_HIGH:
+                high_bytes[bucket] += size
+
+    def low_thread(index):
+        ctx = LiteContext(kernels[0], f"low{index}", priority=PRIORITY_LOW)
+        lh = yield from ctx.lt_map("qos-target")
+        size = 8192 if index % 4 < 2 else 4096
+        do_write = index % 2 == 0
+        payload = b"l" * size
+        while sim.now - start_time < RUNTIME_US:
+            if do_write:
+                yield from ctx.lt_write(lh, 0, payload)
+            else:
+                yield from ctx.lt_read(lh, 0, size)
+            record(size, PRIORITY_LOW)
+
+    def high_thread(index):
+        ctx = LiteContext(kernels[0], f"high{index}", priority=PRIORITY_HIGH)
+        lh = yield from ctx.lt_map("qos-target")
+        payload = b"h" * 4096
+        yield sim.timeout(HIGH_START)
+        while sim.now - start_time < HIGH_PAUSE:
+            if index % 2 == 0:
+                yield from ctx.lt_write(lh, 4096, payload)
+            else:
+                yield from ctx.lt_read(lh, 4096, 4096)
+            record(4096, PRIORITY_HIGH)
+        if index < 8:
+            yield sim.timeout(HIGH_RESUME - (sim.now - start_time))
+            while sim.now - start_time < RUNTIME_US - 2_000.0:
+                yield from ctx.lt_write(lh, 4096, payload)
+                record(4096, PRIORITY_HIGH)
+
+    def driver():
+        procs = [sim.process(low_thread(i)) for i in range(20)]
+        procs += [sim.process(high_thread(i)) for i in range(20)]
+        yield sim.all_of(procs)
+
+    cluster.run_process(driver())
+    # GB/s per bucket.
+    high_series = [b / BUCKET_US / 1000.0 for b in high_bytes]
+    total_series = [b / BUCKET_US / 1000.0 for b in total_bytes]
+    return high_series, total_series
+
+
+def run_fig16():
+    out = {}
+    for mode in (None, "hw-sep", "sw-pri"):
+        out[mode or "none"] = run_mode(mode)
+    return out
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_qos_timeline(benchmark):
+    series = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    rows = []
+    n_buckets = len(series["none"][0])
+    for bucket in range(n_buckets):
+        rows.append(
+            (
+                bucket,
+                series["sw-pri"][1][bucket],
+                series["sw-pri"][0][bucket],
+                series["hw-sep"][1][bucket],
+                series["hw-sep"][0][bucket],
+                series["none"][1][bucket],
+                series["none"][0][bucket],
+            )
+        )
+    print_table(
+        "Figure 16: QoS timeline (GB/s per 1ms bucket)",
+        ["ms", "SWPri-Tot", "SWPri-Hi", "HWSep-Tot", "HWSep-Hi",
+         "NoQoS-Tot", "NoQoS-Hi"],
+        rows,
+    )
+
+    def window(series_values, lo, hi):
+        chunk = series_values[lo:hi]
+        return sum(chunk) / len(chunk)
+
+    contended = (4, 11)  # both classes active
+    # 1. Without QoS, high-priority gets roughly half the bandwidth.
+    none_high = window(series["none"][0], *contended)
+    none_total = window(series["none"][1], *contended)
+    assert none_high < 0.62 * none_total
+    # 2. SW-Pri hands high-priority most of the bandwidth under contention.
+    sw_high = window(series["sw-pri"][0], *contended)
+    sw_total = window(series["sw-pri"][1], *contended)
+    assert sw_high > 0.75 * sw_total
+    assert sw_high > 1.3 * none_high
+    # 3. HW-Sep also protects high-priority...
+    hw_high = window(series["hw-sep"][0], *contended)
+    assert hw_high > 1.2 * none_high
+    # ...but wastes reserved capacity when high is idle (0-2 ms window):
+    hw_idle_total = window(series["hw-sep"][1], 0, 2)
+    sw_idle_total = window(series["sw-pri"][1], 0, 2)
+    assert hw_idle_total < 0.8 * sw_idle_total
+    # 4. SW-Pri aggregate >= HW-Sep aggregate overall.
+    assert sum(series["sw-pri"][1]) > sum(series["hw-sep"][1])

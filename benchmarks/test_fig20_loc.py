@@ -1,0 +1,58 @@
+"""Figure 20: application implementation effort (LOC using LITE).
+
+The paper's table shows each application needs only tens of lines of
+LITE calls (20-49 for Log/MR/Graph) out of hundreds-to-thousands of
+application LOC — the networking is fully encapsulated.  We count the
+same metric over our implementations.  LITE-Graph-DSM uses *zero* LITE
+lines in the paper (it sits purely on DSM loads/stores); ours keeps a
+similarly tiny count (barriers only).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+from loc import app_effort_table  # noqa: E402
+
+from .common import print_table
+
+PAPER = {
+    "LITE-Log": (330, 36),
+    "LITE-MR": (600, 49),
+    "LITE-Graph": (1400, 20),
+    "LITE-DSM": (3000, 45),
+    "LITE-Graph-DSM": (1300, 0),
+}
+
+
+def run_fig20():
+    root = Path(__file__).resolve().parents[1]
+    rows = []
+    for name, loc, lite_loc in app_effort_table(root):
+        paper_loc, paper_lite = PAPER[name]
+        rows.append((name, loc, lite_loc, paper_loc, paper_lite))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig20")
+def test_fig20_implementation_effort(benchmark):
+    rows = benchmark.pedantic(run_fig20, rounds=1, iterations=1)
+    print_table(
+        "Figure 20: application implementation effort",
+        ["application", "LOC", "LOC using LITE", "paper LOC",
+         "paper LITE LOC"],
+        rows,
+    )
+    by_app = {row[0]: row for row in rows}
+    for name, loc, lite_loc, _paper_loc, _paper_lite in rows:
+        assert loc > 0
+        # LITE lines are a small fraction of each app.
+        assert lite_loc < 0.30 * loc, f"{name}: {lite_loc}/{loc}"
+    # The paper's headline: the graph engine needs ~20 LITE lines; ours
+    # stays within the same order (< 40).
+    assert by_app["LITE-Graph"][2] <= 40
+    # Graph-DSM barely touches LITE directly (paper: 0; allow <= 8 for
+    # explicit barrier calls).
+    assert by_app["LITE-Graph-DSM"][2] <= 8

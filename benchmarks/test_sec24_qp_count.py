@@ -1,0 +1,88 @@
+"""§2.4 third axis: RDMA performance vs the number of active QPs.
+
+RNICs keep per-QP connection state in SRAM; cycling traffic over many
+QPs thrashes that cache and degrades latency (the effect FaRM reported
+and FaSST's UD design dodges).  LITE needs only K×N QPs regardless of
+how many applications/threads run, so it never enters this regime.
+"""
+
+import random
+
+import pytest
+
+from repro.verbs import Access, Opcode, SendWR, Sge
+
+from .common import latency_of, lite_pair, print_table, verbs_pair
+
+QP_COUNTS = [4, 64, 256, 1024]
+
+
+def verbs_latency_with_qps(n_qps: int) -> float:
+    state = verbs_pair(mr_bytes=1 << 20)
+    cluster = state["cluster"]
+    a, b = cluster[0], cluster[1]
+    qps = [state["qa"]]
+    for _ in range(n_qps - 1):
+        qa = a.device.create_qp(state["pd_a"], "RC", send_cq=None)
+        qb = b.device.create_qp(state["pd_b"], "RC", send_cq=None)
+        a.device.connect(qa, qb)
+        qps.append(qa)
+    rng = random.Random(24)
+
+    def op():
+        qp = qps[rng.randrange(len(qps))]
+        wr = SendWR(
+            Opcode.WRITE,
+            sgl=[Sge(state["mr_a"], 0, 64)],
+            remote_addr=state["mr_b"].base_addr,
+            rkey=state["mr_b"].rkey,
+            signaled=False,
+        )
+        yield qp.post_send(wr)
+
+    return latency_of(cluster, op, count=400, warmup=50)
+
+
+def lite_latency_with_many_threads() -> float:
+    """LITE: any number of threads share the same K QPs — one number."""
+    cluster, _kernels, contexts = lite_pair()
+    ctx = contexts[0]
+    holder = {}
+
+    def setup():
+        holder["lh"] = yield from ctx.lt_malloc(1 << 16, nodes=2)
+
+    cluster.run_process(setup())
+    lh = holder["lh"]
+    payload = b"q" * 64
+
+    def op():
+        yield from ctx.lt_write(lh, 0, payload)
+
+    return latency_of(cluster, op, count=400, warmup=50)
+
+
+def run_sec24():
+    lite = lite_latency_with_many_threads()
+    rows = []
+    for count in QP_COUNTS:
+        rows.append((count, lite, verbs_latency_with_qps(count)))
+    return rows
+
+
+@pytest.mark.benchmark(group="sec24")
+def test_sec24_qp_count_scaling(benchmark):
+    rows = benchmark.pedantic(run_sec24, rounds=1, iterations=1)
+    print_table(
+        "Sec 2.4: 64B write latency vs active QPs (us)",
+        ["#QPs", "LITE (KxN shared)", "Verbs (per-thread QPs)"],
+        rows,
+        note="QP-state SRAM holds ~256 entries; LITE never exceeds KxN",
+    )
+    by_count = {row[0]: row for row in rows}
+    # Within SRAM reach, Verbs is fine.
+    assert by_count[64][2] < 1.3 * by_count[4][2]
+    # Beyond it, per-QP state thrashes: latency up >= 40%.
+    assert by_count[1024][2] > 1.4 * by_count[4][2]
+    # LITE's shared-QP latency beats Verbs at scale.
+    assert by_count[1024][1] < by_count[1024][2]

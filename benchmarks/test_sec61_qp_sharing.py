@@ -1,0 +1,51 @@
+"""§6.1: queue-pair counts — LITE's K×N sharing vs per-process schemes.
+
+The paper's accounting, per node, for N nodes and T threads per node:
+
+- native Verbs (no sharing):      2 × N × T     QPs
+- FaRM (per-app sharing, q=4):    2 × N × T / q QPs
+- LITE (kernel-wide sharing):     K × N         QPs (1 <= K <= 4)
+
+Verified against the live LITE instances (actual created QPs) plus the
+arithmetic table for the paper's example scales.
+"""
+
+import pytest
+
+from .common import lite_pair, print_table
+
+
+def run_sec61():
+    rows = []
+    n_threads = 8
+    farm_q = 4
+    for n_nodes in (2, 4, 8):
+        cluster, kernels, _ = lite_pair(n_nodes=n_nodes)
+        lite_actual = kernels[0].total_qps()
+        k = cluster.params.lite_qp_factor_k
+        rows.append(
+            (
+                n_nodes,
+                2 * n_nodes * n_threads,
+                2 * n_nodes * n_threads // farm_q,
+                k * (n_nodes - 1),
+                lite_actual,
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="sec61")
+def test_sec61_qp_sharing(benchmark):
+    rows = benchmark.pedantic(run_sec61, rounds=1, iterations=1)
+    print_table(
+        "Sec 6.1: QPs per node (N nodes, 8 threads, FaRM q=4, LITE K=2)",
+        ["nodes", "Verbs 2NT", "FaRM 2NT/q", "LITE K(N-1) expect",
+         "LITE actual"],
+        rows,
+    )
+    for n_nodes, verbs, farm, lite_expect, lite_actual in rows:
+        assert lite_actual == lite_expect
+        assert lite_actual < farm < verbs
+    # The LITE advantage grows with thread count, not node count.
+    assert rows[-1][1] / rows[-1][4] > 8

@@ -1,0 +1,83 @@
+"""§8.1: LITE-Log commit throughput and scaling.
+
+The paper reports ~833 K commits/s with two nodes concurrently
+committing single-entry (16 B) transactions, and that throughput scales
+with node count and transaction size.
+"""
+
+import pytest
+
+from repro.apps.litelog import LiteLog, LogWriter
+from repro.core import LiteContext
+
+from .common import lite_pair, print_table
+
+WINDOW_US = 4000.0
+THREADS_PER_NODE = 3
+
+
+def commit_rate(n_writer_nodes: int, entry_bytes: int,
+                entries_per_tx: int = 1) -> float:
+    cluster, kernels, _ = lite_pair(n_nodes=n_writer_nodes + 1)
+    sim = cluster.sim
+    home = kernels[-1].lite_id
+    committed = [0]
+
+    def writer(node_index, writer_id):
+        ctx = LiteContext(kernels[node_index], f"w{writer_id}")
+        log = yield from LiteLog.open(ctx, "tput")
+        writer_obj = LogWriter(log, writer_id=writer_id)
+        end = sim.now + WINDOW_US
+        while sim.now < end:
+            for _ in range(entries_per_tx):
+                writer_obj.append(b"e" * entry_bytes)
+            yield from writer_obj.commit()
+            committed[0] += 1
+
+    def driver():
+        creator = LiteContext(kernels[0], "creator")
+        yield from LiteLog.create(creator, "tput", 1 << 23, home_node=home)
+        procs = [
+            sim.process(writer(node, node * 8 + thread))
+            for node in range(n_writer_nodes)
+            for thread in range(THREADS_PER_NODE)
+        ]
+        yield sim.all_of(procs)
+
+    cluster.run_process(driver())
+    return committed[0] / (WINDOW_US / 1e6)  # commits per second
+
+
+def run_sec81():
+    rows = []
+    for writers, entry, per_tx in (
+        (1, 16, 1),
+        (2, 16, 1),
+        (4, 16, 1),
+        (2, 128, 1),
+        (2, 16, 8),
+    ):
+        rate = commit_rate(writers, entry, per_tx)
+        rows.append(
+            (f"{writers} node(s), {per_tx}x{entry}B", rate / 1000.0)
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="sec81")
+def test_sec81_litelog_throughput(benchmark):
+    rows = benchmark.pedantic(run_sec81, rounds=1, iterations=1)
+    print_table(
+        "Sec 8.1: LITE-Log commit throughput (K commits/s)",
+        ["configuration", "K commits/s"],
+        rows,
+    )
+    rates = {label: rate for label, rate in rows}
+    two_node = rates["2 node(s), 1x16B"]
+    # Paper: ~833 K/s for two committing nodes of 16 B transactions.
+    assert 400 < two_node < 1600
+    # Scales with committing nodes.
+    assert rates["2 node(s), 1x16B"] > rates["1 node(s), 1x16B"]
+    assert rates["4 node(s), 1x16B"] > rates["2 node(s), 1x16B"]
+    # Bigger transactions never commit faster (latency-bound regime).
+    assert rates["2 node(s), 1x128B"] <= rates["2 node(s), 1x16B"] * 1.02

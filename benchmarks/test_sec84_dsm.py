@@ -1,0 +1,115 @@
+"""§8.4: LITE-DSM operation latencies on four nodes.
+
+The paper reports: 4 KB random/sequential reads 12.6/17.2 µs; sync
+begin (acquire) 9.2 µs; commit of 10 dirty 4 KB pages 74.3 µs.  The
+same four micro-operations are measured here.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.dsm import LiteDsm, PAGE_SIZE
+from repro.core import lite_boot
+from repro.cluster import Cluster
+
+from .common import print_table
+
+N_PAGES = 256
+
+
+def run_sec84():
+    cluster = Cluster(4)
+    kernels = lite_boot(cluster)
+    dsm = LiteDsm(kernels, "bench", N_PAGES * PAGE_SIZE)
+    cluster.run_process(dsm.build())
+    sim = cluster.sim
+    node = dsm.nodes[0]
+    rng = random.Random(84)
+    out = {}
+
+    def seed_data():
+        writer = dsm.nodes[1]
+        yield from writer.acquire(0, N_PAGES * PAGE_SIZE)
+        for page in range(0, N_PAGES, 16):
+            yield from writer.write(page * PAGE_SIZE, bytes([page % 256]) * 64)
+        yield from writer.release()
+
+    cluster.run_process(seed_data())
+
+    # -- 4 KB random reads (cold pages, remote homes) -------------------
+    def random_reads():
+        samples = []
+        pages = [p for p in range(N_PAGES) if p % 4 != 0]
+        rng.shuffle(pages)
+        for page in pages[:40]:
+            start = sim.now
+            yield from node.read(page * PAGE_SIZE, PAGE_SIZE)
+            samples.append(sim.now - start)
+        out["random 4KB read"] = sum(samples) / len(samples)
+
+    cluster.run_process(random_reads())
+
+    # -- 4 KB sequential reads (fresh region) ----------------------------
+    def sequential_reads():
+        node2 = dsm.nodes[2]
+        samples = []
+        for page in range(40):
+            start = sim.now
+            yield from node2.read(page * PAGE_SIZE, PAGE_SIZE)
+            samples.append(sim.now - start)
+        out["sequential 4KB read"] = sum(samples) / len(samples)
+
+    cluster.run_process(sequential_reads())
+
+    # -- sync begin (acquire 10 pages) ------------------------------------
+    def sync_begin():
+        samples = []
+        for round_index in range(20):
+            base = (round_index % 8) * 10 * PAGE_SIZE
+            start = sim.now
+            yield from node.acquire(base, 10 * PAGE_SIZE)
+            samples.append(sim.now - start)
+            yield from node.release()
+        out["sync begin (10 pages)"] = sum(samples) / len(samples)
+
+    cluster.run_process(sync_begin())
+
+    # -- sync commit with 10 dirty pages -----------------------------------
+    def sync_commit():
+        samples = []
+        for round_index in range(20):
+            base = (round_index % 8) * 10 * PAGE_SIZE
+            yield from node.acquire(base, 10 * PAGE_SIZE)
+            for page in range(10):
+                yield from node.write(base + page * PAGE_SIZE, b"d" * PAGE_SIZE)
+            start = sim.now
+            yield from node.release()
+            samples.append(sim.now - start)
+        out["sync commit (10 dirty pages)"] = sum(samples) / len(samples)
+
+    cluster.run_process(sync_commit())
+    return out
+
+
+@pytest.mark.benchmark(group="sec84")
+def test_sec84_dsm_latencies(benchmark):
+    out = benchmark.pedantic(run_sec84, rounds=1, iterations=1)
+    rows = [(name, value) for name, value in out.items()]
+    print_table(
+        "Sec 8.4: LITE-DSM latencies, 4 nodes (us)",
+        ["operation", "latency"],
+        rows,
+        note="paper: reads 12.6/17.2; sync begin 9.2; commit 10 pages 74.3",
+    )
+    # Within the envelope of the paper's measurements.
+    assert 8.0 < out["random 4KB read"] < 25.0
+    assert 8.0 < out["sequential 4KB read"] < 25.0
+    assert 4.0 < out["sync begin (10 pages)"] < 20.0
+    assert 15.0 < out["sync commit (10 dirty pages)"] < 120.0
+    # Commit of 10 dirty pages costs several times an acquire (paper:
+    # 9.2 vs 74.3).
+    assert (
+        out["sync commit (10 dirty pages)"]
+        > 2.5 * out["sync begin (10 pages)"]
+    )

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Distributed atomic logging with LITE-Log (paper §8.1).
+
+Four nodes: the log lives on node 4 (which runs *no* log code at all —
+everything is one-sided), writers on nodes 1-3 commit transactions
+concurrently, and a cleaner reclaims space in the background.  Ends by
+verifying every committed transaction is intact and reporting the
+commit rate.
+
+Run:  python examples/distributed_log.py
+"""
+
+from repro.apps.litelog import LiteLog, LogCleaner, LogEntry, LogWriter
+from repro.cluster import Cluster
+from repro.core import LiteContext, lite_boot
+
+N_WRITERS = 3
+COMMITS_EACH = 200
+
+
+def main():
+    cluster = Cluster(4)
+    kernels = lite_boot(cluster)
+    sim = cluster.sim
+    committed = []  # (offset, nbytes, payloads)
+
+    def writer_proc(node_index: int):
+        ctx = LiteContext(kernels[node_index], f"writer{node_index}")
+        log = yield from LiteLog.open(ctx, "applog")
+        writer = LogWriter(log, writer_id=node_index)
+        for index in range(COMMITS_EACH):
+            payloads = [
+                f"node{node_index} txn{index} entry{e}".encode()
+                for e in range(1 + index % 3)
+            ]
+            for payload in payloads:
+                writer.append(payload)
+            before_tail = sum(len(LogEntry(p).encoded()) for p in payloads) + 12
+            offset = yield from writer.commit()
+            committed.append((offset, before_tail, payloads, writer))
+
+    def cleaner_proc():
+        ctx = LiteContext(kernels[0], "cleaner")
+        log = yield from LiteLog.open(ctx, "applog")
+        cleaner = LogCleaner(log, batch_bytes=8 * 1024)
+        yield from cleaner.run(interval_us=500.0, rounds=10)
+        print(f"cleaner reclaimed {cleaner.cleaned_bytes} bytes in background")
+
+    def driver():
+        creator = LiteContext(kernels[0], "creator")
+        log = yield from LiteLog.create(creator, "applog", 4 << 20, home_node=4)
+        print(f"created {log.size >> 20} MB log on node 4 "
+              f"(home node runs no log code)")
+        start = sim.now
+        procs = [sim.process(writer_proc(i)) for i in range(N_WRITERS)]
+        sim.process(cleaner_proc())
+        yield sim.all_of(procs)
+        elapsed = sim.now - start
+        total = N_WRITERS * COMMITS_EACH
+        print(f"{total} transactions committed from {N_WRITERS} nodes "
+              f"in {elapsed / 1000:.2f} ms "
+              f"({total / (elapsed / 1e6) / 1000:.0f} K commits/s)")
+        # Verify a sample of committed transactions byte-for-byte.
+        checked = 0
+        for offset, nbytes, payloads, writer in committed[:: len(committed) // 20]:
+            blob = yield from writer.read_transaction(offset, nbytes)
+            cursor = 0
+            for payload in payloads:
+                entry, cursor = LogEntry.decode(blob, cursor)
+                assert entry.payload == payload, "log corruption!"
+            checked += 1
+        count = yield from log.committed_count()
+        print(f"verified {checked} sampled transactions intact; "
+              f"commit counter = {count}")
+        assert count == total
+
+    cluster.run_process(driver())
+
+
+if __name__ == "__main__":
+    main()

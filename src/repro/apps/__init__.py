@@ -1,0 +1,14 @@
+"""The four datacenter applications built on LITE (paper §8)."""
+
+from .kvstore import LiteKVClient, LiteKVServer, kv_shard_of
+from .litelog import LiteLog, LogCleaner, LogEntry, LogWriter
+
+__all__ = [
+    "LiteLog",
+    "LogWriter",
+    "LogCleaner",
+    "LogEntry",
+    "LiteKVServer",
+    "LiteKVClient",
+    "kv_shard_of",
+]

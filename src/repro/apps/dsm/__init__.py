@@ -1,0 +1,6 @@
+"""LITE-DSM and the DSM-backed graph engine."""
+
+from .graphdsm import LiteGraphDsm
+from .litedsm import DsmNode, LiteDsm, PAGE_SIZE
+
+__all__ = ["LiteDsm", "DsmNode", "PAGE_SIZE", "LiteGraphDsm"]

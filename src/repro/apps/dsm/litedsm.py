@@ -1,0 +1,410 @@
+"""LITE-DSM: kernel-level distributed shared memory on LITE (§8.4).
+
+MRSW (multiple readers, single writer) with release consistency, in the
+HLRC style: every 4 KB page has a *home node* (round-robin).  The
+protocol maps onto LITE exactly as the paper describes:
+
+- **reads** never involve the home node's CPU: a page fault is served
+  with a one-sided ``LT_read`` from the home's page store, and the
+  reader registers as a sharer with an async notification;
+- **acquire** is an ``LT_RPC`` to each page's home, which serializes
+  writers (single-writer invariant) per page;
+- **release** pushes dirty pages home with ``LT_write``, then one
+  ``LT_RPC`` per home bumps versions and *invalidates every sharer's
+  cached copy* (multicast RPC, the extension of §8.4).
+
+Because Python cannot hook the MMU, "page faults" are explicit
+``read``/``write`` calls; the fault-handler cost is charged explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Set
+
+from ...core import LiteContext, Permission
+from ...sim import Event
+
+__all__ = ["LiteDsm", "DsmNode", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+_FUNC_DSM = 20
+_OPEN = Permission.READ | Permission.WRITE
+
+# DSM-layer costs (µs): kernel fault trap + vma/protocol handling.
+FAULT_US = 6.0
+PROTOCOL_US = 1.0
+# HLRC-style twin/diff computation per dirty page at release time.
+DIFF_US_PER_PAGE = 2.2
+
+
+class _HomePage:
+    """Home-node state for one page."""
+
+    __slots__ = ("version", "writer", "sharers", "wait_queue")
+
+    def __init__(self):
+        self.version = 0
+        self.writer: Optional[int] = None
+        self.sharers: Set[int] = set()
+        self.wait_queue: List[Event] = []
+
+
+class DsmNode:
+    """One node's view of a shared DSM space."""
+
+    def __init__(self, dsm: "LiteDsm", index: int, kernel):
+        self.dsm = dsm
+        self.index = index
+        # Kernel-level context: LITE-DSM lives in the kernel (§8.4).
+        self.ctx = LiteContext(kernel, f"dsm{dsm.name}-n{index}", kernel_level=True)
+        self.sim = kernel.sim
+        # page -> (bytes, version); None bytes = invalidated.
+        self.cache: Dict[int, tuple] = {}
+        self.dirty: Dict[int, bytearray] = {}
+        self.acquired: Set[int] = set()
+        self.home_pages: Dict[int, _HomePage] = {}
+        self.home_handle = None
+        self.remote_handles: Dict[int, object] = {}
+        self.faults = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _home_of(self, page: int) -> int:
+        return page % self.dsm.n_nodes
+
+    def _home_offset(self, page: int) -> int:
+        return (page // self.dsm.n_nodes) * PAGE_SIZE
+
+    def build(self):
+        """Allocate this node's home store; start the protocol service."""
+        dsm = self.dsm
+        pages_here = (dsm.n_pages + dsm.n_nodes - 1 - self.index) // dsm.n_nodes
+        pages_here = max(pages_here, 1)
+        self.home_handle = yield from self.ctx.lt_malloc(
+            pages_here * PAGE_SIZE,
+            name=f"{dsm.name}:home:{self.index}",
+            default_perm=_OPEN,
+        )
+        for page in range(self.index, dsm.n_pages, dsm.n_nodes):
+            self.home_pages[page] = _HomePage()
+        self.ctx.lt_reg_rpc(_FUNC_DSM)
+        self.sim.process(self._service_loop(), name=f"dsm-svc{self.index}")
+        yield from self.ctx.lt_barrier(f"{dsm.name}:homes", dsm.n_nodes)
+        for other in range(dsm.n_nodes):
+            if other != self.index:
+                self.remote_handles[other] = yield from self.ctx.lt_map(
+                    f"{dsm.name}:home:{other}", _OPEN
+                )
+        yield from self.ctx.lt_barrier(f"{dsm.name}:ready", dsm.n_nodes)
+
+    def _store_handle(self, page: int):
+        home = self._home_of(page)
+        if home == self.index:
+            return self.home_handle
+        return self.remote_handles[home]
+
+    # ------------------------------------------------------------------
+    # Protocol service (runs at every node; serves its home pages)
+    # ------------------------------------------------------------------
+    def _service_loop(self):
+        while True:
+            call = yield from self.ctx.lt_recv_rpc(_FUNC_DSM)
+            # Handle each request in its own process so a blocked
+            # acquire never starves releases/invalidations.
+            self.sim.process(self._serve(call), name="dsm-serve")
+
+    def _serve(self, call):
+        msg = json.loads(call.input.decode())
+        kind = msg["op"]
+        yield self.sim.timeout(PROTOCOL_US)
+        if kind == "acquire":
+            reply = yield from self._serve_acquire(msg)
+        elif kind == "release":
+            reply = yield from self._serve_release(msg)
+        elif kind == "inv":
+            reply = self._apply_invalidation(msg)
+        elif kind == "share":
+            reply = self._register_sharer(msg)
+        else:
+            raise ValueError(f"unknown DSM op {kind!r}")
+        yield from self.ctx.lt_reply_rpc(call, json.dumps(reply).encode())
+
+    def _serve_acquire(self, msg):
+        requester = msg["node"]
+        versions = {}
+        for page in msg["pages"]:
+            state = self.home_pages[page]
+            while state.writer is not None and state.writer != requester:
+                gate = self.sim.event()
+                state.wait_queue.append(gate)
+                yield gate
+            state.writer = requester
+            versions[str(page)] = state.version
+        return {"versions": versions}
+
+    def _serve_release(self, msg):
+        writer = msg["node"]
+        to_invalidate: Dict[int, List[int]] = {}
+        for page in msg["pages"]:
+            state = self.home_pages[page]
+            if state.writer != writer:
+                return {"err": f"release of page {page} not held by {writer}"}
+            state.version += 1
+            for sharer in state.sharers:
+                if sharer != writer:
+                    to_invalidate.setdefault(sharer, []).append(page)
+            state.sharers = {writer}
+        # Multicast invalidations to every caching node (§8.4).
+        if to_invalidate:
+            procs = []
+            for sharer, pages in to_invalidate.items():
+                payload = json.dumps({"op": "inv", "pages": pages}).encode()
+                procs.append(
+                    self.sim.process(
+                        self.ctx.kernel.rpc.call(
+                            self.dsm.nodes[sharer].ctx.lite_id, _FUNC_DSM,
+                            payload, max_reply=64,
+                        )
+                    )
+                )
+            yield self.sim.all_of(procs)
+        for page in msg["pages"]:
+            state = self.home_pages[page]
+            state.writer = None
+            if state.wait_queue:
+                state.wait_queue.pop(0).succeed()
+        return {"ok": True}
+
+    def _apply_invalidation(self, msg):
+        for page in msg["pages"]:
+            if page in self.cache:
+                del self.cache[page]
+                self.invalidations += 1
+        return {"ok": True}
+
+    def _register_sharer(self, msg):
+        for page in msg["pages"]:
+            self.home_pages[page].sharers.add(msg["node"])
+        return {"ok": True}
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _fetch_page(self, page: int):
+        """Page fault: one-sided read from home, async sharer reg."""
+        self.faults += 1
+        yield self.sim.timeout(FAULT_US)
+        home = self._home_of(page)
+        if home == self.index:
+            state = self.home_pages[page]
+            data = yield from self.ctx.lt_read(
+                self.home_handle, self._home_offset(page), PAGE_SIZE
+            )
+            state.sharers.add(self.index)
+            self.cache[page] = (bytearray(data), state.version)
+            return
+        data = yield from self.ctx.lt_read(
+            self.remote_handles[home], self._home_offset(page), PAGE_SIZE
+        )
+        # Register as a sharer before exposing the page, so a concurrent
+        # writer's release is guaranteed to invalidate this copy.
+        payload = json.dumps(
+            {"op": "share", "pages": [page], "node": self.index}
+        ).encode()
+        yield from self.ctx.kernel.rpc.call(
+            self.dsm.nodes[home].ctx.lite_id, _FUNC_DSM, payload, max_reply=64
+        )
+        self.cache[page] = (bytearray(data), 0)
+
+    def _fetch_batch(self, pages: List[int]):
+        """Fault-around: trap once per page, but overlap the reads and
+        batch sharer registration per home node."""
+        self.faults += len(pages)
+        yield self.sim.timeout(FAULT_US * len(pages))
+        by_home: Dict[int, List[int]] = {}
+        for page in pages:
+            by_home.setdefault(self._home_of(page), []).append(page)
+        reads = []
+        read_meta = []
+        for home, home_pages in by_home.items():
+            handle = (
+                self.home_handle if home == self.index
+                else self.remote_handles[home]
+            )
+            for page in home_pages:
+                gen = self.ctx.lt_read(handle, self._home_offset(page), PAGE_SIZE)
+                reads.append(self.sim.process(gen))
+                read_meta.append(page)
+        results = yield self.sim.all_of(reads)
+        for index, page in enumerate(read_meta):
+            self.cache[page] = (bytearray(results[index]), 0)
+        # Register as a sharer, one batched RPC per remote home.
+        regs = []
+        for home, home_pages in by_home.items():
+            if home == self.index:
+                for page in home_pages:
+                    self.home_pages[page].sharers.add(self.index)
+                continue
+            payload = json.dumps(
+                {"op": "share", "pages": home_pages, "node": self.index}
+            ).encode()
+            regs.append(
+                self.sim.process(
+                    self.ctx.kernel.rpc.call(
+                        self.dsm.nodes[home].ctx.lite_id, _FUNC_DSM,
+                        payload, max_reply=64,
+                    )
+                )
+            )
+        if regs:
+            yield self.sim.all_of(regs)
+
+    def read(self, addr: int, nbytes: int):
+        """DSM load (generator; returns bytes)."""
+        if addr < 0 or addr + nbytes > self.dsm.size:
+            raise ValueError("DSM read outside the shared space")
+        first = addr // PAGE_SIZE
+        last = (addr + nbytes - 1) // PAGE_SIZE
+        missing = [
+            page for page in range(first, last + 1)
+            if page not in self.cache and page not in self.dirty
+        ]
+        if missing:
+            yield from self._fetch_batch(missing)
+        out = bytearray()
+        cursor = addr
+        remaining = nbytes
+        while remaining > 0:
+            page = cursor // PAGE_SIZE
+            offset = cursor % PAGE_SIZE
+            take = min(PAGE_SIZE - offset, remaining)
+            if page in self.dirty:
+                out += self.dirty[page][offset : offset + take]
+            else:
+                out += self.cache[page][0][offset : offset + take]
+            cursor += take
+            remaining -= take
+        return bytes(out)
+
+    def acquire(self, addr: int, nbytes: int):
+        """Gain write access to the page range (generator)."""
+        pages = sorted(
+            set(range(addr // PAGE_SIZE, (addr + nbytes - 1) // PAGE_SIZE + 1))
+        )
+        yield self.sim.timeout(PROTOCOL_US)
+        by_home: Dict[int, List[int]] = {}
+        for page in pages:
+            by_home.setdefault(self._home_of(page), []).append(page)
+        procs = []
+        for home, home_pages in by_home.items():
+            payload = json.dumps(
+                {"op": "acquire", "pages": home_pages, "node": self.index}
+            ).encode()
+            if home == self.index:
+                gen = self._serve_acquire(
+                    {"pages": home_pages, "node": self.index}
+                )
+                procs.append(self.sim.process(gen))
+            else:
+                procs.append(
+                    self.sim.process(
+                        self.ctx.kernel.rpc.call(
+                            self.dsm.nodes[home].ctx.lite_id, _FUNC_DSM,
+                            payload, max_reply=4096,
+                        )
+                    )
+                )
+        yield self.sim.all_of(procs)
+        self.acquired.update(pages)
+
+    def write(self, addr: int, data: bytes):
+        """DSM store into acquired pages (generator; local until release)."""
+        pages = set(
+            range(addr // PAGE_SIZE, (addr + len(data) - 1) // PAGE_SIZE + 1)
+        )
+        if not pages <= self.acquired:
+            raise PermissionError(
+                "DSM write without acquire (release consistency violation)"
+            )
+        cursor = addr
+        remaining = data
+        while remaining:
+            page = cursor // PAGE_SIZE
+            offset = cursor % PAGE_SIZE
+            take = min(PAGE_SIZE - offset, len(remaining))
+            if page not in self.dirty:
+                if page not in self.cache:
+                    yield from self._fetch_page(page)
+                self.dirty[page] = bytearray(self.cache[page][0])
+            self.dirty[page][offset : offset + take] = remaining[:take]
+            cursor += take
+            remaining = remaining[take:]
+
+    def release(self):
+        """Push dirty pages home, invalidate sharers (generator)."""
+        if not self.acquired:
+            return
+        yield self.sim.timeout(PROTOCOL_US)
+        # 1. Write back every dirty page to its home store: compute the
+        # twin diff, then one-sided write — sequentially, as the HLRC
+        # release path does (this is why the paper's 10-dirty-page
+        # commit costs 74.3 us against a 9.2 us acquire).
+        for page, data in sorted(self.dirty.items()):
+            handle = self._store_handle(page)
+            yield from self.ctx.kernel.node.cpu.execute(
+                DIFF_US_PER_PAGE, tag="dsm-diff"
+            )
+            yield from self.ctx.kernel.onesided.write(
+                handle.mapping, self._home_offset(page), bytes(data)
+            )
+            self.cache[page] = (bytearray(data), -1)
+        # 2. Tell each home to bump versions + invalidate sharers.
+        by_home: Dict[int, List[int]] = {}
+        for page in sorted(self.acquired):
+            by_home.setdefault(self._home_of(page), []).append(page)
+        procs = []
+        for home, pages in by_home.items():
+            msg = {"op": "release", "pages": pages, "node": self.index}
+            if home == self.index:
+                procs.append(self.sim.process(self._serve_release(msg)))
+            else:
+                procs.append(
+                    self.sim.process(
+                        self.ctx.kernel.rpc.call(
+                            self.dsm.nodes[home].ctx.lite_id, _FUNC_DSM,
+                            json.dumps(msg).encode(), max_reply=256,
+                        )
+                    )
+                )
+        yield self.sim.all_of(procs)
+        self.dirty.clear()
+        self.acquired.clear()
+
+    def barrier(self, name: str):
+        """Space-wide named barrier across all DSM nodes (generator)."""
+        yield from self.ctx.lt_barrier(
+            f"{self.dsm.name}:{name}", self.dsm.n_nodes
+        )
+
+
+class LiteDsm:
+    """A shared space spanning a set of LITE nodes."""
+
+    def __init__(self, kernels, name: str, size: int):
+        if size <= 0:
+            raise ValueError("DSM size must be positive")
+        self.name = name
+        self.size = size
+        self.n_pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        self.n_nodes = len(kernels)
+        self.nodes = [DsmNode(self, index, kernel)
+                      for index, kernel in enumerate(kernels)]
+
+    def build(self):
+        """Bring the space up on every node (generator)."""
+        sim = self.nodes[0].sim
+        procs = [sim.process(node.build()) for node in self.nodes]
+        yield sim.all_of(procs)

@@ -1,0 +1,37 @@
+"""Graph engines: LITE-Graph and the PowerGraph/Grappa baselines."""
+
+from .common import (
+    GraphCosts,
+    PartitionedGraph,
+    decode_ranks,
+    encode_ranks,
+    pagerank_reference,
+)
+from .algorithms import (
+    ComponentsProgram,
+    PageRankProgram,
+    SsspProgram,
+    VertexProgram,
+    components_reference,
+    sssp_reference,
+)
+from .grappa import GrappaSim
+from .litegraph import LiteGraph
+from .powergraph import PowerGraphSim
+
+__all__ = [
+    "GraphCosts",
+    "PartitionedGraph",
+    "pagerank_reference",
+    "encode_ranks",
+    "decode_ranks",
+    "LiteGraph",
+    "PowerGraphSim",
+    "GrappaSim",
+    "VertexProgram",
+    "PageRankProgram",
+    "SsspProgram",
+    "ComponentsProgram",
+    "sssp_reference",
+    "components_reference",
+]

@@ -1,0 +1,245 @@
+"""LITE-Log: a distributed atomic logging system (paper §8.1).
+
+The "one-sided concept pushed to an extreme": the global log and its
+metadata live in LMRs, and *every* operation — creating, appending,
+cleaning — is performed from remote with one-sided LITE ops.  The node
+hosting the log runs no log code at all.
+
+Commit protocol:
+  1. the writer buffers entries locally until commit time;
+  2. commit reserves contiguous log space with one LT_fetch-add on the
+     tail counter;
+  3. the transaction bytes (entries + commit record) go in with one
+     LT_write.
+
+A background cleaner advances the head with LT_read + LT_fetch-add +
+LT_test-set, reclaiming committed space.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from ..core import LiteContext, Permission
+
+__all__ = ["LiteLog", "LogWriter", "LogCleaner", "LogEntry"]
+
+_ENTRY_HDR = 8   # length(4) + crc-ish tag(4)
+_COMMIT_REC = 12  # txid(8) + magic(4)
+_COMMIT_MAGIC = 0xC0FFEE01
+
+# Metadata LMR layout: tail(8) head(8) committed_txs(8) clean_lock(8).
+_META_TAIL = 0
+_META_HEAD = 8
+_META_COMMITTED = 16
+_META_CLEAN_LOCK = 24
+_META_BYTES = 32
+
+
+class LogEntry:
+    """One logged payload with a self-checking header."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: bytes):
+        self.payload = payload
+
+    def encoded(self) -> bytes:
+        """Wire form: length + tag header, then the payload."""
+        tag = (len(self.payload) * 2654435761) & 0xFFFFFFFF
+        return struct.pack("<II", len(self.payload), tag) + self.payload
+
+    @classmethod
+    def decode(cls, blob: bytes, offset: int) -> "tuple[LogEntry, int]":
+        """Parse one entry at ``offset``; returns (entry, next offset)."""
+        length, tag = struct.unpack_from("<II", blob, offset)
+        expect = (length * 2654435761) & 0xFFFFFFFF
+        if tag != expect:
+            raise ValueError("corrupt log entry header")
+        start = offset + _ENTRY_HDR
+        return cls(blob[start : start + length]), start + length
+
+
+class LiteLog:
+    """Handle to a global log; create once, open from anywhere."""
+
+    def __init__(self, ctx: LiteContext, name: str, log_lh, meta_lh, size: int):
+        self.ctx = ctx
+        self.name = name
+        self.log_lh = log_lh
+        self.meta_lh = meta_lh
+        self.size = size
+
+    @classmethod
+    def create(cls, ctx: LiteContext, name: str, size: int,
+               home_node: Optional[int] = None):
+        """Allocate the log + metadata LMRs (generator; run anywhere)."""
+        home = home_node if home_node is not None else ctx.lite_id
+        log_lh = yield from ctx.lt_malloc(
+            size, name=f"__log:{name}", nodes=home,
+            default_perm=Permission.READ | Permission.WRITE,
+        )
+        meta_lh = yield from ctx.lt_malloc(
+            _META_BYTES, name=f"__logmeta:{name}", nodes=home,
+            default_perm=Permission.READ | Permission.WRITE,
+        )
+        yield from ctx.lt_memset(meta_lh, 0, 0, _META_BYTES)
+        return cls(ctx, name, log_lh, meta_lh, size)
+
+    @classmethod
+    def open(cls, ctx: LiteContext, name: str):
+        """Map an existing log from any node (generator)."""
+        log_lh = yield from ctx.lt_map(f"__log:{name}")
+        meta_lh = yield from ctx.lt_map(f"__logmeta:{name}")
+        return cls(ctx, name, log_lh, meta_lh, log_lh.size)
+
+    # -- remote metadata accessors ------------------------------------------
+    def read_tail(self):
+        """Remote-read the tail counter (generator)."""
+        data = yield from self.ctx.lt_read(self.meta_lh, _META_TAIL, 8)
+        return struct.unpack("<Q", data)[0]
+
+    def read_head(self):
+        """Remote-read the head counter (generator)."""
+        data = yield from self.ctx.lt_read(self.meta_lh, _META_HEAD, 8)
+        return struct.unpack("<Q", data)[0]
+
+    def committed_count(self):
+        """Remote-read the committed-transaction counter (generator)."""
+        data = yield from self.ctx.lt_read(self.meta_lh, _META_COMMITTED, 8)
+        return struct.unpack("<Q", data)[0]
+
+    def verify(self):
+        """Walk the unreclaimed log and check every record (generator).
+
+        Reads [head, tail) remotely, decodes entry-by-entry and checks
+        each header tag and commit record.  Returns (transactions,
+        entries) counted; raises ValueError on the first corruption.
+        Only meaningful while the log has not wrapped past the head.
+        """
+        head = yield from self.read_head()
+        tail = yield from self.read_tail()
+        if tail - head > self.size:
+            raise ValueError("log wrapped past its head; cannot verify")
+        if tail == head:
+            return 0, 0
+        position = head % self.size
+        span = tail - head
+        if position + span <= self.size:
+            blob = yield from self.ctx.lt_read(self.log_lh, position, span)
+        else:
+            first = yield from self.ctx.lt_read(
+                self.log_lh, position, self.size - position
+            )
+            rest = yield from self.ctx.lt_read(
+                self.log_lh, 0, span - (self.size - position)
+            )
+            blob = first + rest
+        cursor = 0
+        transactions = 0
+        entries = 0
+        while cursor < len(blob):
+            # Entries until a commit record (txid + magic).
+            while True:
+                if cursor + _COMMIT_REC > len(blob):
+                    raise ValueError("truncated transaction at log end")
+                _txid, magic = struct.unpack_from("<QI", blob, cursor)
+                if magic == _COMMIT_MAGIC:
+                    cursor += _COMMIT_REC
+                    transactions += 1
+                    break
+                _entry, cursor = LogEntry.decode(blob, cursor)
+                entries += 1
+        return transactions, entries
+
+
+class LogWriter:
+    """Buffers entries locally; commit() is fetch-add + write (§8.1)."""
+
+    def __init__(self, log: LiteLog, writer_id: int = 0):
+        self.log = log
+        self.ctx = log.ctx
+        self.writer_id = writer_id
+        self._buffer: List[LogEntry] = []
+        self._txid = writer_id << 32
+        self.committed = 0
+
+    def append(self, payload: bytes) -> None:
+        """Buffer one entry locally until commit time."""
+        self._buffer.append(LogEntry(payload))
+
+    def commit(self):
+        """Atomically commit buffered entries (generator; returns offset)."""
+        if not self._buffer:
+            raise ValueError("commit with no buffered entries")
+        ctx, log = self.ctx, self.log
+        self._txid += 1
+        body = b"".join(entry.encoded() for entry in self._buffer)
+        record = struct.pack("<QI", self._txid, _COMMIT_MAGIC)
+        blob = body + record
+        # 1. Reserve space: one fetch-add on the tail counter.
+        offset = yield from ctx.lt_fetch_add(log.meta_lh, _META_TAIL, len(blob))
+        position = offset % log.size
+        if position + len(blob) > log.size:
+            # Wrapped reservation: write in two pieces.
+            first = log.size - position
+            yield from ctx.lt_write(log.log_lh, position, blob[:first])
+            yield from ctx.lt_write(log.log_lh, 0, blob[first:])
+        else:
+            # 2. One write for the whole transaction.
+            yield from ctx.lt_write(log.log_lh, position, blob)
+        # 3. Bump the committed-transaction counter (commit point).
+        yield from ctx.lt_fetch_add(log.meta_lh, _META_COMMITTED, 1)
+        self._buffer.clear()
+        self.committed += 1
+        return offset
+
+    def read_transaction(self, offset: int, nbytes: int):
+        """Fetch raw committed bytes back (generator; for verification)."""
+        position = offset % self.log.size
+        data = yield from self.ctx.lt_read(self.log.log_lh, position, nbytes)
+        return data
+
+
+class LogCleaner:
+    """Background cleaner: advances head over fully-committed space."""
+
+    def __init__(self, log: LiteLog, batch_bytes: int = 64 * 1024):
+        self.log = log
+        self.ctx = log.ctx
+        self.batch_bytes = batch_bytes
+        self.cleaned_bytes = 0
+
+    def clean_once(self):
+        """One cleaning pass (generator; returns bytes reclaimed)."""
+        ctx, log = self.ctx, self.log
+        # Take the cleaner lock with test-and-set.
+        old = yield from ctx.lt_test_set(log.meta_lh, _META_CLEAN_LOCK, 0, 1)
+        if old != 0:
+            return 0  # another cleaner is active
+        try:
+            tail = yield from log.read_tail()
+            head = yield from log.read_head()
+            reclaim = min(tail - head, self.batch_bytes)
+            if reclaim <= 0:
+                return 0
+            # Verify the space is committed data by scanning it.
+            position = head % log.size
+            span = min(reclaim, log.size - position)
+            yield from ctx.lt_read(log.log_lh, position, span)
+            old_head = yield from ctx.lt_fetch_add(log.meta_lh, _META_HEAD, reclaim)
+            assert old_head == head
+            self.cleaned_bytes += reclaim
+            return reclaim
+        finally:
+            # Release the cleaner lock.
+            yield from ctx.lt_test_set(log.meta_lh, _META_CLEAN_LOCK, 1, 0)
+
+    def run(self, interval_us: float = 1000.0, rounds: int = 0):
+        """Cleaner loop (generator); rounds=0 means run forever."""
+        done = 0
+        while rounds == 0 or done < rounds:
+            yield self.ctx.sim.timeout(interval_us)
+            yield from self.clean_once()
+            done += 1

@@ -1,0 +1,16 @@
+"""MapReduce: Phoenix (single node), LITE-MR, and Hadoop-over-IPoIB."""
+
+from .common import MrCosts, decode_counts, encode_counts, merge_counts
+from .hadoopsim import HadoopMR
+from .lite_mr import LiteMR
+from .phoenix import PhoenixMR
+
+__all__ = [
+    "MrCosts",
+    "PhoenixMR",
+    "LiteMR",
+    "HadoopMR",
+    "encode_counts",
+    "decode_counts",
+    "merge_counts",
+]

@@ -1,0 +1,23 @@
+"""Baseline RPC systems the paper compares against."""
+
+from .farm import FarmEndpoint, connect_farm_pair
+from .fasst import FasstEndpoint
+from .herd import HerdClient, HerdServer
+from .sendrecv import (
+    LiteRingReceiver,
+    SizeClassedReceiver,
+    geometric_classes,
+    memory_utilization,
+)
+
+__all__ = [
+    "FarmEndpoint",
+    "connect_farm_pair",
+    "HerdServer",
+    "HerdClient",
+    "FasstEndpoint",
+    "SizeClassedReceiver",
+    "LiteRingReceiver",
+    "geometric_classes",
+    "memory_utilization",
+]

@@ -1,0 +1,154 @@
+"""HERD-style RPC (Kalia et al., SIGCOMM '14 / ATC '16 guidelines).
+
+Request: the client RDMA-writes its request into a *per-client slot* in
+the server's request region.  Server threads busy-poll the slots of the
+clients assigned to them — the per-iteration scan touches every slot,
+so dispatch latency and CPU grow with the number of clients per thread
+(the drawback §5.3 calls out for datacenter use).  Reply: one UD send;
+the client busy-polls its UD receive CQ.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from typing import Callable, Dict, List
+
+from ..sim import Store
+from ..verbs import Access, Opcode, RecvWR, SendWR, Sge, UD_MTU, WcStatus
+
+__all__ = ["HerdServer", "HerdClient"]
+
+_SLOT_BYTES = 4096
+_SLOT_CHECK_US = 0.012  # one cache-line probe of a client slot
+
+
+class HerdClient:
+    """A client endpoint bound to one server thread's slot."""
+
+    def __init__(self, server: "HerdServer", node, slot: int):
+        self.server = server
+        self.node = node
+        self.sim = node.sim
+        self.slot = slot
+        self.pd = node.device.alloc_pd()
+        self.write_qp = None      # RC toward the server region
+        self.ud_qp = None         # UD for replies
+        self.reply_mr = None
+        self.calls = 0
+
+    def build(self):
+        """Register reply buffers and QPs (generator)."""
+        device = self.node.device
+        self.reply_mr = yield from device.reg_mr(self.pd, 64 * 1024, Access.ALL)
+        self.write_qp = device.create_qp(self.pd, "RC")
+        server_qp = self.server.node.device.create_qp(self.server.pd, "RC")
+        device.connect(self.write_qp, server_qp)
+        self.ud_qp = device.create_qp(self.pd, "UD")
+        # One call outstanding per client endpoint (HERD's usage model);
+        # replies land at the region head.
+        for _ in range(4):
+            self.ud_qp.post_recv(RecvWR(mr=self.reply_mr, offset=0, length=UD_MTU))
+
+    def call(self, payload: bytes, handler_tag: str = "herd-client"):
+        """One RPC (generator; returns reply bytes)."""
+        if len(payload) + 8 > _SLOT_BYTES:
+            raise ValueError("HERD request exceeds its slot")
+        server = self.server
+        message = struct.pack("<II", len(payload), self.slot) + payload
+        wr = SendWR(
+            Opcode.WRITE,
+            inline_data=message,
+            remote_addr=server.region_mr.base_addr + self.slot * _SLOT_BYTES,
+            rkey=server.region_mr.rkey,
+            signaled=False,
+        )
+        # The server memory-polls its region: data is visible on landing.
+        wr.delivered = self.sim.event()
+        self.write_qp.post_send(wr)
+        status = yield wr.delivered
+        if status is not WcStatus.SUCCESS:
+            raise RuntimeError(f"HERD request write failed: {status.value}")
+        self.calls += 1
+        server._notify(self.slot)
+        # Busy-poll the UD recv CQ for the reply (HERD clients spin).
+        cpu = self.node.cpu
+        wc = yield from cpu.busy_wait(self.ud_qp.recv_cq.wait_wc(), tag=handler_tag)
+        reply = self.reply_mr.read(0, wc.byte_len)
+        # Keep the UD RQ stocked.
+        self.ud_qp.post_recv(RecvWR(mr=self.reply_mr, offset=0, length=UD_MTU))
+        return reply
+
+
+class HerdServer:
+    """HERD server: a request region and N busy-polling worker threads."""
+
+    def __init__(self, node, n_threads: int = 1, max_clients: int = 64):
+        self.node = node
+        self.sim = node.sim
+        self.params = node.params
+        self.n_threads = n_threads
+        self.max_clients = max_clients
+        self.pd = node.device.alloc_pd()
+        self.region_mr = None
+        self.ud_qp = None
+        self._clients: Dict[int, HerdClient] = {}
+        self._slot_counter = itertools.count()
+        self._thread_queues: List[Store] = []
+        self._threads = []
+        self.requests_served = 0
+
+    def build(self, handler: Callable[[bytes], bytes]):
+        """Register the region, spawn worker threads (generator)."""
+        device = self.node.device
+        self.region_mr = yield from device.reg_mr(
+            self.pd, self.max_clients * _SLOT_BYTES, Access.ALL
+        )
+        self.ud_qp = device.create_qp(self.pd, "UD")
+        self._thread_queues = [Store(self.sim) for _ in range(self.n_threads)]
+        for index in range(self.n_threads):
+            self._threads.append(
+                self.sim.process(
+                    self._worker(index, handler), name=f"herd-worker{index}"
+                )
+            )
+
+    def connect_client(self, client_node):
+        """Admit a client (generator; returns a ready HerdClient)."""
+        slot = next(self._slot_counter)
+        if slot >= self.max_clients:
+            raise RuntimeError("HERD server slot space exhausted")
+        client = HerdClient(self, client_node, slot)
+        yield from client.build()
+        self._clients[slot] = client
+        return client
+
+    def _notify(self, slot: int) -> None:
+        self._thread_queues[slot % self.n_threads].put(slot)
+
+    def clients_per_thread(self) -> int:
+        """Slots each worker thread must scan per poll iteration."""
+        return max(1, (len(self._clients) + self.n_threads - 1) // self.n_threads)
+
+    def _worker(self, index: int, handler: Callable[[bytes], bytes]):
+        cpu = self.node.cpu
+        queue = self._thread_queues[index]
+        while True:
+            slot = yield from cpu.busy_wait(queue.get(), tag="herd-server")
+            # Scanning this thread's client slots to find the hot one.
+            scan = _SLOT_CHECK_US * self.clients_per_thread()
+            yield self.sim.timeout(scan)
+            cpu.charge("herd-server", scan)
+            header = self.region_mr.read(slot * _SLOT_BYTES, 8)
+            length, _slot = struct.unpack("<II", header)
+            payload = self.region_mr.read(slot * _SLOT_BYTES + 8, length)
+            result = handler(payload)
+            if hasattr(result, "send"):
+                result = yield from result
+            client = self._clients[slot]
+            # UD send reply (fire, completion unpolled).
+            reply_wr = SendWR(Opcode.SEND, inline_data=result, signaled=False)
+            self.ud_qp.post_send(
+                reply_wr, dst=(client.node.node_id, client.ud_qp.qpn)
+            )
+            self.requests_served += 1

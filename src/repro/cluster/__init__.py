@@ -1,0 +1,6 @@
+"""Cluster composition: nodes, fabric wiring, membership."""
+
+from .cluster import Cluster, ClusterManager
+from .node import Node
+
+__all__ = ["Cluster", "ClusterManager", "Node"]

@@ -1,0 +1,131 @@
+"""Cluster construction: N nodes on one switch, plus the manager node.
+
+The LITE cluster manager (§3.3) maintains membership; all of its state
+can be reconstructed on restart, so it is modelled as plain metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..hw import DEFAULT_PARAMS, Fabric, SimParams
+from ..sim import Simulator
+from .node import Node
+
+__all__ = ["Cluster", "ClusterManager"]
+
+
+class ClusterManager:
+    """Membership service for a LITE cluster (one logical instance)."""
+
+    def __init__(self):
+        self.members: Dict[int, Node] = {}
+        self._next_lite_id = 1
+        # Global LMR name directory: name -> master's LITE id.  All of
+        # this state is reconstructible metadata (§3.3).
+        self.names: Dict[str, int] = {}
+
+    def join(self, node: Node) -> int:
+        """Register a node; returns its LITE node id (stable, 1-based)."""
+        for lite_id, member in self.members.items():
+            if member is node:
+                return lite_id
+        lite_id = self._next_lite_id
+        self._next_lite_id += 1
+        self.members[lite_id] = node
+        return lite_id
+
+    def leave(self, lite_id: int) -> None:
+        """Remove a member (idempotent)."""
+        self.members.pop(lite_id, None)
+
+    def lookup(self, lite_id: int) -> Node:
+        """The Node behind a LITE id (KeyError if unknown)."""
+        if lite_id not in self.members:
+            raise KeyError(f"no cluster member with LITE id {lite_id}")
+        return self.members[lite_id]
+
+    # -- LMR name directory -------------------------------------------
+    def register_name(self, name: str, master_lite_id: int) -> None:
+        """Record which LITE instance masters LMR ``name``."""
+        if name in self.names:
+            raise KeyError(f"LMR name {name!r} is already registered")
+        self.names[name] = master_lite_id
+
+    def lookup_name(self, name: str) -> int:
+        """The master LITE id for LMR ``name`` (KeyError if unknown)."""
+        if name not in self.names:
+            raise KeyError(f"no LMR named {name!r}")
+        return self.names[name]
+
+    def drop_name(self, name: str) -> None:
+        """Remove a name from the directory (idempotent)."""
+        self.names.pop(name, None)
+
+    # -- failure restart (§3.3: "all the states it maintains can be
+    # easily reconstructed upon failure restart") -----------------------
+    def snapshot(self) -> dict:
+        """Serializable manager state (membership + name directory)."""
+        return {
+            "members": {lite_id: node.node_id
+                        for lite_id, node in self.members.items()},
+            "next_id": self._next_lite_id,
+            "names": dict(self.names),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, nodes) -> "ClusterManager":
+        """Rebuild a manager after a restart from its snapshot.
+
+        ``nodes`` maps the surviving Node objects by node_id; LITE ids
+        and the LMR name directory come back exactly as they were, so
+        in-flight lhs and name lookups keep resolving.
+        """
+        manager = cls()
+        by_node_id = {node.node_id: node for node in nodes}
+        for lite_id, node_id in snapshot["members"].items():
+            manager.members[int(lite_id)] = by_node_id[node_id]
+        manager._next_lite_id = snapshot["next_id"]
+        manager.names = dict(snapshot["names"])
+        return manager
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class Cluster:
+    """A simulated testbed: simulator + fabric + ``n`` identical nodes."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        params: Optional[SimParams] = None,
+        sim: Optional[Simulator] = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError(f"cluster needs at least one node, got {n_nodes}")
+        self.params = params if params is not None else DEFAULT_PARAMS
+        self.sim = sim if sim is not None else Simulator()
+        self.fabric = Fabric(self.sim, self.params)
+        self.nodes: List[Node] = [
+            Node(self.sim, node_id, self.params, self.fabric)
+            for node_id in range(n_nodes)
+        ]
+        self.manager = ClusterManager()
+
+    def __getitem__(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def run(self, until=None, stop=None):
+        """Drive the simulator (see :meth:`Simulator.run`)."""
+        return self.sim.run(until=until, stop=stop)
+
+    def run_process(self, generator, until=None):
+        """Spawn ``generator`` and run the simulator to its completion."""
+        return self.sim.run_process(generator, until=until)

@@ -1,0 +1,31 @@
+"""LITE core: the paper's primary contribution."""
+
+from .api import LiteContext, LiteLock, lite_boot, rpc_server_loop
+from .kernel import LiteError, LiteKernel
+from .lmr import ChunkInfo, LmrHandle, MappedLmr, MasterRecord, Permission
+from .qos import PRIORITY_HIGH, PRIORITY_LOW, QosManager
+from .rdma import OneSidedEngine, RdmaOpError
+from .rpc import RpcCall, RpcEngine, RpcError, RpcTimeoutError
+
+__all__ = [
+    "LiteKernel",
+    "LiteContext",
+    "LiteLock",
+    "LiteError",
+    "lite_boot",
+    "rpc_server_loop",
+    "Permission",
+    "LmrHandle",
+    "MappedLmr",
+    "MasterRecord",
+    "ChunkInfo",
+    "OneSidedEngine",
+    "RdmaOpError",
+    "RpcEngine",
+    "RpcCall",
+    "RpcError",
+    "RpcTimeoutError",
+    "QosManager",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+]

@@ -1,0 +1,538 @@
+"""The LITE kernel module: one instance per node (paper §3.3).
+
+Owns everything the paper's loadable module owns:
+
+- the **global physical MR** (one lkey/rkey covering all of DRAM, §4.1),
+- **K×N shared RC QPs** (K per peer, shared by every application, §6.1),
+- one **shared receive CQ + SRQ** drained by a single busy-polling
+  kernel thread that dispatches control messages, RPC requests and RPC
+  replies,
+- the **control plane** (two-sided sends carrying management messages:
+  LMR alloc/map/free, memset/memcpy execution, lock/barrier services,
+  RPC ring binding, user messaging),
+- the master-side **LMR registry**.
+
+The one-sided data plane lives in :mod:`repro.core.rdma`, the RPC data
+plane in :mod:`repro.core.rpc`; both are composed here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ..sim import Event, Store
+from ..verbs import Access, Opcode, RecvWR, SendWR
+from .lmr import ChunkInfo, MasterRecord, MappedLmr, Permission
+from .protocol import MsgType, decode_ctrl, encode_ctrl
+from .qos import QosManager
+from .rdma import OneSidedEngine
+from .rpc import RpcEngine
+from .sync import SyncService
+
+__all__ = ["LiteKernel", "LiteError"]
+
+
+class LiteError(Exception):
+    """A LITE API failure (bad name, permission denial at master, ...)."""
+
+
+class PeerInfo:
+    """Everything needed to talk to one remote LITE instance."""
+
+    __slots__ = ("lite_id", "node_id", "global_rkey", "qps", "windows", "_rr")
+
+    def __init__(self, lite_id: int, node_id: int, global_rkey: int):
+        self.lite_id = lite_id
+        self.node_id = node_id
+        self.global_rkey = global_rkey
+        self.qps: List = []
+        self.windows: List = []  # per-QP outstanding-op windows
+        self._rr = 0
+
+
+class LiteKernel:
+    """One node's LITE instance."""
+
+    _token_counter = itertools.count(start=1)
+
+    def __init__(self, node, manager, qos_mode: Optional[str] = None,
+                 use_global_mr: bool = True):
+        self.node = node
+        # Ablation knob (DESIGN.md §6): False registers every LMR chunk
+        # as a classic virtual MR instead of using the global physical
+        # MR, reintroducing native RDMA's SRAM-scalability problems.
+        self.use_global_mr = use_global_mr
+        self.sim = node.sim
+        self.params = node.params
+        self.manager = manager
+        self.lite_id = manager.join(node)
+        node.install_lite(self)
+        self.device = node.device
+        self.pd = self.device.alloc_pd()
+        self.global_mr = None
+        self.recv_cq = self.device.create_cq(
+            depth=1 << 16, name=f"lite{self.lite_id}-recv"
+        )
+        self.srq = self.device.create_srq()
+        self.peers: Dict[int, PeerInfo] = {}
+        self.node_to_lite: Dict[int, int] = {node.node_id: self.lite_id}
+        # Control plane.
+        self._ctrl_pending: Dict[int, Event] = {}
+        self._ctrl_slots_region = None
+        self.user_inbox: Store = Store(self.sim)
+        # Master-side LMR registry: name -> MasterRecord.
+        self.registry: Dict[str, MasterRecord] = {}
+        self._records_by_id: Dict[int, MasterRecord] = {}
+        # Local mappings of remote/local LMRs (for FREE_NOTIFY fan-in).
+        self.mappings_by_lmr: Dict[int, List[MappedLmr]] = {}
+        # Engines.
+        self.qos = QosManager(self, mode=qos_mode)
+        self.onesided = OneSidedEngine(self)
+        self.rpc = RpcEngine(self)
+        self.sync = SyncService(self)
+        self._poller = None
+        self.booted = False
+
+    # ------------------------------------------------------------------
+    # Boot & connection management
+    # ------------------------------------------------------------------
+    def boot(self):
+        """Bring the kernel up: global MR, control slots, poll thread."""
+        if self.booted:
+            raise LiteError("LITE already booted on this node")
+        self.global_mr = yield from self.device.reg_phys_mr(self.pd, Access.ALL)
+        params = self.params
+        slots = params.lite_ctrl_slots
+        slot_bytes = params.lite_ctrl_slot_bytes
+        self._ctrl_slots_region = self.node.memory.alloc(slots * slot_bytes)
+        for index in range(slots):
+            self._post_ctrl_slot(index)
+        self._poller = self.sim.process(
+            self._poll_loop(), name=f"lite{self.lite_id}-poller"
+        )
+        self._build_loopback()
+        self.booted = True
+
+    def _build_loopback(self) -> None:
+        """Loopback QPs so self-targeted control/RPC ops work uniformly."""
+        from ..sim import Resource
+
+        loop = PeerInfo(self.lite_id, self.node.node_id, self.global_mr.rkey)
+        for _ in range(self.params.lite_qp_factor_k):
+            qp_a = self.device.create_qp(
+                self.pd, "RC", send_cq=None, recv_cq=self.recv_cq, srq=self.srq
+            )
+            qp_b = self.device.create_qp(
+                self.pd, "RC", send_cq=None, recv_cq=self.recv_cq, srq=self.srq
+            )
+            self.device.connect(qp_a, qp_b)
+            loop.qps.append(qp_a)
+            loop.windows.append(
+                Resource(self.sim, capacity=self.params.lite_qp_window)
+            )
+        self.peers[self.lite_id] = loop
+
+    def _post_ctrl_slot(self, index: int) -> None:
+        slot_bytes = self.params.lite_ctrl_slot_bytes
+        addr = self._ctrl_slots_region.addr + index * slot_bytes
+        self.srq.post_recv(
+            RecvWR(mr=self.global_mr, offset=addr, length=slot_bytes, wr_id=index)
+        )
+
+    def connect(self, other: "LiteKernel"):
+        """Build the K shared QPs to a peer (symmetric; generator).
+
+        Connection setup goes through the cluster manager out-of-band;
+        we charge one control round-trip per QP pair.
+        """
+        if other.lite_id in self.peers:
+            return
+        params = self.params
+        mine = PeerInfo(other.lite_id, other.node.node_id, other.global_mr.rkey)
+        theirs = PeerInfo(self.lite_id, self.node.node_id, self.global_mr.rkey)
+        for _ in range(params.lite_qp_factor_k):
+            qp_a = self.device.create_qp(
+                self.pd, "RC", send_cq=None, recv_cq=self.recv_cq, srq=self.srq
+            )
+            qp_b = other.device.create_qp(
+                other.pd, "RC", send_cq=None, recv_cq=other.recv_cq, srq=other.srq
+            )
+            self.device.connect(qp_a, qp_b)
+            mine.qps.append(qp_a)
+            theirs.qps.append(qp_b)
+            from ..sim import Resource
+
+            mine.windows.append(Resource(self.sim, capacity=params.lite_qp_window))
+            theirs.windows.append(
+                Resource(self.sim, capacity=other.params.lite_qp_window)
+            )
+            yield from self.node.fabric.transfer(
+                self.node.node_id, other.node.node_id, 256
+            )
+            yield from self.node.fabric.transfer(
+                other.node.node_id, self.node.node_id, 256
+            )
+        self.peers[other.lite_id] = mine
+        other.peers[self.lite_id] = theirs
+        self.node_to_lite[other.node.node_id] = other.lite_id
+        other.node_to_lite[self.node.node_id] = self.lite_id
+
+    def peer(self, lite_id: int) -> PeerInfo:
+        """Connection state toward a LITE instance (incl. loopback)."""
+        if lite_id not in self.peers:
+            raise LiteError(f"LITE {self.lite_id} is not connected to {lite_id}")
+        return self.peers[lite_id]
+
+    def total_qps(self) -> int:
+        """QPs toward remote peers (K×(N-1)); loopback pairs excluded."""
+        return sum(
+            len(peer.qps)
+            for lite_id, peer in self.peers.items()
+            if lite_id != self.lite_id
+        )
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def ctrl_send(self, dst_lite_id: int, msg: dict,
+                  ordered: bool = False) -> None:
+        """Fire-and-forget control SEND (non-blocking post).
+
+        Messages larger than one receive slot are fragmented and
+        reassembled at the peer (chunk lists of very large LMRs).
+        ``ordered`` pins the message to one QP so it delivers in FIFO
+        order relative to other ordered messages (LT_send semantics);
+        request/reply traffic is token-matched and rides round-robin.
+        """
+        payload = encode_ctrl(msg)
+        budget = self.params.lite_ctrl_slot_bytes - 128
+        if len(payload) <= budget:
+            self._ctrl_send_raw(dst_lite_id, payload, ordered=ordered)
+            return
+        import base64
+
+        raw_budget = (budget // 4) * 3 - 64  # room for base64 + envelope
+        pieces = [
+            payload[index : index + raw_budget]
+            for index in range(0, len(payload), raw_budget)
+        ]
+        frag_id = next(self._token_counter)
+        for index, piece in enumerate(pieces):
+            envelope = {
+                "type": "__frag",
+                "fid": f"{self.lite_id}:{frag_id}",
+                "i": index,
+                "n": len(pieces),
+                "data": base64.b64encode(piece).decode(),
+            }
+            self._ctrl_send_raw(dst_lite_id, encode_ctrl(envelope),
+                                ordered=True)
+
+    def _ctrl_send_raw(self, dst_lite_id: int, payload: bytes,
+                       ordered: bool = False) -> None:
+        peer = self.peer(dst_lite_id)
+        if ordered:
+            qp = peer.qps[0]
+        else:
+            qp = peer.qps[peer._rr % len(peer.qps)]
+            peer._rr += 1
+        self.node.cpu.charge("lite-ctrl", self.params.rnic_doorbell_us)
+        qp.post_send(SendWR(Opcode.SEND, inline_data=payload, signaled=False))
+
+    def ctrl_request(self, dst_lite_id: int, msg: dict):
+        """Send a control request, wait for the peer's reply (generator)."""
+        token = next(self._token_counter)
+        msg = dict(msg)
+        msg["tok"] = token
+        msg["src"] = self.lite_id
+        event = self.sim.event()
+        self._ctrl_pending[token] = event
+        self.ctrl_send(dst_lite_id, msg)
+        reply = yield event
+        if reply.get("err"):
+            raise LiteError(reply["err"])
+        return reply
+
+    def _ctrl_reply(self, request: dict, reply: dict) -> None:
+        reply = dict(reply)
+        reply["type"] = MsgType.REPLY
+        reply["tok"] = request["tok"]
+        self.ctrl_send(request["src"], reply)
+
+    # ------------------------------------------------------------------
+    # The shared polling thread (one per node, §5.1/§6.1)
+    # ------------------------------------------------------------------
+    def _poll_loop(self):
+        cpu = self.node.cpu
+        while True:
+            wc = yield from cpu.busy_wait(self.recv_cq.wait_wc(), tag="lite-poll")
+            cpu.charge("lite-poll", 0.10)  # dispatch bookkeeping
+            if wc.opcode is Opcode.RECV:
+                slot = wc.wr_id
+                if not wc.ok:
+                    # Defensive: a message overran its slot.
+                    self._post_ctrl_slot(slot)
+                    continue
+                payload = self._ctrl_slots_region.read(
+                    slot * self.params.lite_ctrl_slot_bytes, wc.byte_len
+                )
+                self._post_ctrl_slot(slot)
+                msg = decode_ctrl(payload)
+                if msg.get("type") == "__frag":
+                    msg = self._reassemble(msg)
+                    if msg is None:
+                        continue
+                if msg.get("type") == MsgType.REPLY:
+                    pending = self._ctrl_pending.pop(msg["tok"], None)
+                    if pending is not None:
+                        pending.succeed(msg)
+                else:
+                    self.sim.process(
+                        self._handle_ctrl(msg), name=f"lite{self.lite_id}-ctrl"
+                    )
+            elif wc.opcode is Opcode.RECV_IMM:
+                self._post_ctrl_slot(wc.wr_id)
+                self.rpc.handle_imm(wc)
+
+    def _reassemble(self, envelope: dict):
+        """Collect fragments; returns the full message when complete."""
+        if not hasattr(self, "_frag_buffers"):
+            self._frag_buffers = {}
+        import base64
+
+        key = envelope["fid"]
+        parts = self._frag_buffers.setdefault(key, {})
+        parts[envelope["i"]] = base64.b64decode(envelope["data"])
+        if len(parts) < envelope["n"]:
+            return None
+        del self._frag_buffers[key]
+        payload = b"".join(parts[index] for index in range(envelope["n"]))
+        return decode_ctrl(payload)
+
+    # ------------------------------------------------------------------
+    # Control-plane services
+    # ------------------------------------------------------------------
+    def _handle_ctrl(self, msg: dict):
+        handler = {
+            MsgType.ALLOC: self._serve_alloc,
+            MsgType.FREE_CHUNKS: self._serve_free_chunks,
+            MsgType.MAP: self._serve_map,
+            MsgType.UNMAP_NOTIFY: self._serve_unmap_notify,
+            MsgType.FREE_NOTIFY: self._serve_free_notify,
+            MsgType.CHUNKS_UPDATE: self._serve_chunks_update,
+            MsgType.GRANT: self._serve_grant,
+            MsgType.MEMSET: self._serve_memset,
+            MsgType.MEMCPY: self._serve_memcpy,
+            MsgType.RING_BIND: self._serve_ring_bind,
+            MsgType.LOCK_WAIT: self._serve_lock_wait,
+            MsgType.LOCK_RELEASE: self._serve_lock_release,
+            MsgType.BARRIER: self._serve_barrier,
+            MsgType.USER_MSG: self._serve_user_msg,
+        }.get(msg["type"])
+        if handler is None:
+            self._ctrl_reply(msg, {"err": f"unknown control type {msg['type']!r}"})
+            return
+        yield from handler(msg)
+
+    # -- memory management services --------------------------------------
+    def alloc_chunks(self, size: int):
+        """Carve ``size`` bytes into local physically-contiguous chunks.
+
+        Large LMRs are split into <= lite_chunk_bytes pieces to dodge
+        external fragmentation (§4.1); small LMRs stay contiguous.
+        Generator: in per-MR ablation mode each chunk pays a real
+        ibv_reg_mr (pinning included).
+        """
+        chunk_max = self.params.lite_chunk_bytes
+        chunks: List[ChunkInfo] = []
+        remaining = size
+        while remaining > 0:
+            piece = min(remaining, chunk_max)
+            region = self.node.memory.alloc(piece)
+            if self.use_global_mr:
+                chunks.append(ChunkInfo(self.lite_id, region.addr, piece))
+            else:
+                mr = yield from self.device.reg_mr(
+                    self.pd, piece, Access.ALL, region=region
+                )
+                chunks.append(
+                    ChunkInfo(self.lite_id, region.addr, piece,
+                              rkey=mr.rkey, va=mr.base_addr)
+                )
+            remaining -= piece
+        return chunks
+
+    def _alloc_cost(self, size: int) -> float:
+        return (
+            self.params.malloc_base_us
+            + (size / (1024 * 1024)) * self.params.malloc_per_mb_us
+        )
+
+    def _serve_alloc(self, msg: dict):
+        size = msg["size"]
+        yield from self.node.cpu.execute(self._alloc_cost(size), tag="lite-mgmt")
+        try:
+            chunks = yield from self.alloc_chunks(size)
+        except Exception as exc:  # OutOfMemoryError and friends
+            self._ctrl_reply(msg, {"err": str(exc)})
+            return
+        self._ctrl_reply(msg, {"chunks": [c.to_wire() for c in chunks]})
+
+    def _serve_free_chunks(self, msg: dict):
+        for wire in msg["chunks"]:
+            chunk = ChunkInfo.from_wire(wire)
+            if chunk.node_id != self.lite_id:
+                continue
+            yield from self.free_chunk(chunk)
+        yield self.sim.timeout(self.params.malloc_base_us)
+        self._ctrl_reply(msg, {"ok": True})
+
+    def free_chunk(self, chunk: ChunkInfo):
+        """Release one local chunk (deregistering its MR if ablated)."""
+        if chunk.rkey is not None:
+            mr = self.device.mrs_by_rkey.get(chunk.rkey)
+            if mr is not None:
+                yield from self.device.dereg_mr(mr, free_backing=True)
+                return
+        region, offset = self.node.memory.resolve(chunk.addr, chunk.size)
+        if offset == 0 and region.size == chunk.size:
+            self.node.memory.free(region)
+
+    def _serve_map(self, msg: dict):
+        yield self.sim.timeout(self.params.lite_metadata_us)
+        record = self.registry.get(msg["name"])
+        if record is None or record.freed:
+            self._ctrl_reply(msg, {"err": f"no LMR named {msg['name']!r}"})
+            return
+        wanted = Permission(msg["perm"])
+        if not record.check(msg["principal"], wanted):
+            self._ctrl_reply(
+                msg, {"err": f"permission denied for {msg['principal']!r}"}
+            )
+            return
+        record.mapped_by.add(msg["src"])
+        self._ctrl_reply(
+            msg,
+            {
+                "lmr_id": record.lmr_id,
+                "size": record.size,
+                "chunks": [c.to_wire() for c in record.chunks],
+                "perm": wanted.value,
+            },
+        )
+
+    def _serve_unmap_notify(self, msg: dict):
+        record = self._records_by_id.get(msg["lmr_id"])
+        if record is not None:
+            record.mapped_by.discard(msg["src"])
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _serve_free_notify(self, msg: dict):
+        for mapping in self.mappings_by_lmr.pop(msg["lmr_id"], []):
+            mapping.valid = False
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _serve_chunks_update(self, msg: dict):
+        """The master moved an LMR: retarget every local mapping (§4.1).
+
+        Existing lhs keep working transparently — their next operation
+        simply lands at the new location.
+        """
+        yield self.sim.timeout(self.params.lite_metadata_us)
+        new_chunks = [ChunkInfo.from_wire(w) for w in msg["chunks"]]
+        for mapping in self.mappings_by_lmr.get(msg["lmr_id"], []):
+            mapping.chunks = new_chunks
+        self._ctrl_reply(msg, {"ok": True})
+
+    def _serve_grant(self, msg: dict):
+        yield self.sim.timeout(self.params.lite_metadata_us)
+        record = self.registry.get(msg["name"])
+        if record is None:
+            self._ctrl_reply(msg, {"err": f"no LMR named {msg['name']!r}"})
+            return
+        if not record.check(msg["principal"], Permission.MASTER):
+            self._ctrl_reply(msg, {"err": "only a master may grant permissions"})
+            return
+        record.grant(msg["grantee"], Permission(msg["perm"]))
+        self._ctrl_reply(msg, {"ok": True})
+
+    # -- memory-op execution services (§7.1) ------------------------------
+    def _local_chunk_write(self, chunk: ChunkInfo, offset: int, data: bytes) -> None:
+        region, base = self.node.memory.resolve(chunk.addr + offset, len(data))
+        region.write(base, data)
+
+    def _local_chunk_read(self, chunk: ChunkInfo, offset: int, nbytes: int) -> bytes:
+        region, base = self.node.memory.resolve(chunk.addr + offset, nbytes)
+        return region.read(base, nbytes)
+
+    def _serve_memset(self, msg: dict):
+        chunks = [ChunkInfo.from_wire(w) for w in msg["chunks"]]
+        mapping = MappedLmr(0, "", sum(c.size for c in chunks), chunks, 0)
+        value = bytes([msg["value"]])
+        nbytes = msg["nbytes"]
+        yield from self.node.cpu.execute(
+            nbytes / self.params.memset_bytes_per_us, tag="lite-mgmt"
+        )
+        for chunk, chunk_off, piece, _buf_off in mapping.plan(msg["offset"], nbytes):
+            self._local_chunk_write(chunk, chunk_off, value * piece)
+        self._ctrl_reply(msg, {"ok": True})
+
+    def _serve_memcpy(self, msg: dict):
+        src_chunks = [ChunkInfo.from_wire(w) for w in msg["src_chunks"]]
+        dst_chunks = [ChunkInfo.from_wire(w) for w in msg["dst_chunks"]]
+        nbytes = msg["nbytes"]
+        src_map = MappedLmr(0, "", sum(c.size for c in src_chunks), src_chunks, 0)
+        dst_map = MappedLmr(0, "", sum(c.size for c in dst_chunks), dst_chunks, 0)
+        # Gather source bytes (they are local to this node by routing).
+        parts = []
+        for chunk, chunk_off, piece, _ in src_map.plan(msg["src_off"], nbytes):
+            if chunk.node_id != self.lite_id:
+                self._ctrl_reply(msg, {"err": "memcpy routed to wrong node"})
+                return
+            parts.append(self._local_chunk_read(chunk, chunk_off, piece))
+        data = b"".join(parts)
+        dst_local = all(c.node_id == self.lite_id for c in dst_chunks)
+        if dst_local:
+            yield from self.node.cpu.execute(
+                nbytes / self.params.memcpy_bytes_per_us, tag="lite-mgmt"
+            )
+            cursor = 0
+            for chunk, chunk_off, piece, _ in dst_map.plan(msg["dst_off"], nbytes):
+                self._local_chunk_write(chunk, chunk_off, data[cursor : cursor + piece])
+                cursor += piece
+        else:
+            yield from self.onesided.write(dst_map, msg["dst_off"], data)
+        self._ctrl_reply(msg, {"ok": True})
+
+    # -- RPC ring binding ---------------------------------------------------
+    def _serve_ring_bind(self, msg: dict):
+        yield self.sim.timeout(self.params.lite_metadata_us)
+        ring_addr = self.rpc.server_bind(msg["src"], msg["head_slot_addr"])
+        self._ctrl_reply(msg, {"ring_addr": ring_addr})
+
+    # -- synchronization services --------------------------------------------
+    def _serve_lock_wait(self, msg: dict):
+        granted = self.sync.lock_wait(msg["lock"])
+        yield granted
+        self._ctrl_reply(msg, {"ok": True})
+
+    def _serve_lock_release(self, msg: dict):
+        yield self.sim.timeout(self.params.lite_metadata_us)
+        self.sync.lock_release(msg["lock"])
+        self._ctrl_reply(msg, {"ok": True})
+
+    def _serve_barrier(self, msg: dict):
+        released = self.sync.barrier_arrive(msg["name"], msg["n"])
+        yield released
+        self._ctrl_reply(msg, {"ok": True})
+
+    # -- user messaging (LT_send) ---------------------------------------------
+    def _serve_user_msg(self, msg: dict):
+        import base64
+
+        self.user_inbox.put((msg["src"], base64.b64decode(msg["data"])))
+        return
+        yield  # pragma: no cover - generator marker

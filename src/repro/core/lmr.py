@@ -1,0 +1,199 @@
+"""LMR metadata: permissions, chunk descriptors, handles, master records.
+
+An LMR (LITE Memory Region, §4.1) is a virtualized region of arbitrary
+size that LITE maps to one or more physically-contiguous chunks, which
+may live on one node or be spread across machines.  Users only ever see
+an *lh* — a capability handle, valid for exactly one process on one
+node, encapsulating the address mapping and this user's permission.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["Permission", "ChunkInfo", "MasterRecord", "MappedLmr", "LmrHandle"]
+
+_lmr_counter = itertools.count(start=1)
+_lh_counter = itertools.count(start=1)
+
+
+class Permission(enum.Flag):
+    """Per-principal LMR rights: READ, WRITE, and the MASTER role."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    MASTER = enum.auto()
+
+    @classmethod
+    def full(cls) -> "Permission":
+        """READ | WRITE | MASTER."""
+        return cls.READ | cls.WRITE | cls.MASTER
+
+
+class ChunkInfo:
+    """One physically-contiguous piece of an LMR (wire-serializable).
+
+    In LITE's normal mode chunks are addressed by raw physical address
+    under the owner's *global* rkey.  In the per-MR ablation mode
+    (``LiteKernel(use_global_mr=False)``) each chunk is registered as a
+    classic virtual-address MR and carries its own ``rkey``/``va`` —
+    reintroducing exactly the RNIC SRAM pressure of §2.4.
+    """
+
+    __slots__ = ("node_id", "addr", "size", "rkey", "va")
+
+    def __init__(self, node_id: int, addr: int, size: int,
+                 rkey: Optional[int] = None, va: Optional[int] = None):
+        self.node_id = node_id
+        self.addr = addr
+        self.size = size
+        self.rkey = rkey
+        self.va = va
+
+    def to_wire(self) -> list:
+        """JSON-serializable form for control messages."""
+        return [self.node_id, self.addr, self.size, self.rkey, self.va]
+
+    @classmethod
+    def from_wire(cls, wire: list) -> "ChunkInfo":
+        """Inverse of :meth:`to_wire`."""
+        return cls(*wire)
+
+    def __repr__(self) -> str:
+        return f"Chunk(node={self.node_id}, addr={self.addr:#x}, size={self.size})"
+
+
+class MasterRecord:
+    """Master-side record of an LMR, kept by its creator's LITE (§4.1).
+
+    Masters know where the LMR lives, hold the ACL, and track every node
+    that has mapped it (so moves/frees can be broadcast).
+    """
+
+    def __init__(self, name: str, size: int, chunks: List[ChunkInfo], creator: str,
+                 default_perm: Permission = Permission.NONE):
+        self.lmr_id = next(_lmr_counter)
+        self.name = name
+        self.size = size
+        self.chunks = chunks
+        self.acl: Dict[str, Permission] = {creator: Permission.full()}
+        # Baseline permission any principal holds without an explicit
+        # grant (used for world-accessible LMRs like lock words).
+        self.default_perm = default_perm
+        self.mapped_by: Set[int] = set()
+        self.freed = False
+
+    def check(self, principal: str, wanted: Permission) -> bool:
+        """True when ``principal`` holds every bit of ``wanted``."""
+        held = self.acl.get(principal, Permission.NONE) | self.default_perm
+        return (held & wanted) == wanted
+
+    def grant(self, principal: str, perm: Permission) -> None:
+        """Add ``perm`` to a principal's held rights."""
+        self.acl[principal] = self.acl.get(principal, Permission.NONE) | perm
+
+
+class MappedLmr:
+    """Requesting-node-side mapping of an LMR (all metadata local, §4.1)."""
+
+    def __init__(
+        self,
+        lmr_id: int,
+        name: str,
+        size: int,
+        chunks: List[ChunkInfo],
+        master_id: int,
+    ):
+        self.lmr_id = lmr_id
+        self.name = name
+        self.size = size
+        self.chunks = chunks
+        self.master_id = master_id
+        # Cleared when the master frees or moves the LMR (FREE_NOTIFY).
+        self.valid = True
+
+    def plan(self, offset: int, nbytes: int) -> List[Tuple[ChunkInfo, int, int, int]]:
+        """Split [offset, offset+nbytes) into per-chunk pieces.
+
+        Returns tuples (chunk, chunk_offset, piece_len, buffer_offset).
+        """
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise ValueError(
+                f"range [{offset}, {offset + nbytes}) outside LMR of size {self.size}"
+            )
+        pieces = []
+        cursor = 0
+        remaining_off = offset
+        remaining = nbytes
+        buffer_off = 0
+        for chunk in self.chunks:
+            if remaining <= 0:
+                break
+            chunk_lo = cursor
+            chunk_hi = cursor + chunk.size
+            cursor = chunk_hi
+            if remaining_off >= chunk_hi:
+                continue
+            inner = max(remaining_off - chunk_lo, 0)
+            take = min(chunk.size - inner, remaining)
+            pieces.append((chunk, inner, take, buffer_off))
+            remaining -= take
+            remaining_off += take
+            buffer_off += take
+        if remaining > 0:
+            raise ValueError("LMR chunks do not cover its declared size")
+        return pieces
+
+
+class LmrHandle:
+    """An *lh*: per-process capability to one LMR.
+
+    Meaningless outside the owning context — every LITE API validates
+    that the handle was minted for the calling context, which is what
+    makes lh-passing between processes useless (paper §4.1: "an lh of an
+    LMR is local to a process on a node").
+    """
+
+    def __init__(self, context, mapping: MappedLmr, perm: Permission):
+        self.lh_id = next(_lh_counter)
+        self.context = context
+        self.mapping = mapping
+        self.perm = perm
+        self.valid = True
+
+    @property
+    def size(self) -> int:
+        """The LMR's byte size."""
+        return self.mapping.size
+
+    @property
+    def name(self) -> str:
+        """The LMR's global name."""
+        return self.mapping.name
+
+    def require(self, context, wanted: Permission) -> MappedLmr:
+        """Validate the capability; returns the mapping or raises."""
+        if not self.valid:
+            raise PermissionError(f"lh {self.lh_id} has been unmapped")
+        if not self.mapping.valid:
+            raise PermissionError(
+                f"lh {self.lh_id}: the underlying LMR was freed by its master"
+            )
+        if context is not self.context:
+            raise PermissionError(
+                "lh used by a different process than it was minted for"
+            )
+        if (self.perm & wanted) != wanted:
+            raise PermissionError(
+                f"lh {self.lh_id} lacks {wanted} (has {self.perm})"
+            )
+        return self.mapping
+
+    def __repr__(self) -> str:
+        return (
+            f"lh(id={self.lh_id}, lmr={self.mapping.lmr_id}, name={self.name!r}, "
+            f"perm={self.perm}, size={self.size})"
+        )

@@ -1,0 +1,119 @@
+"""Resource isolation and QoS (paper §6.2).
+
+Two mechanisms, selectable per LITE instance:
+
+- **HW-Sep**: hardware partitioning.  The K shared QPs per peer are
+  split by priority class (3/4 high, 1/4 low with K=4).  Each QP has a
+  bounded in-flight window, so a class's share of NIC/link bandwidth is
+  proportional to the QP slots it owns — and reserved slots sit idle
+  when their class is idle (the paper's critique of HW-Sep).
+
+- **SW-Pri**: sender-side software flow control for low-priority work,
+  combining the paper's three policies: (1) rate-limit low when high
+  load is high, (2) leave low unlimited when high is (nearly) idle,
+  (3) rate-limit low when high-priority RTTs inflate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+__all__ = ["QosManager", "PRIORITY_HIGH", "PRIORITY_LOW"]
+
+PRIORITY_HIGH = 0
+PRIORITY_LOW = 1
+
+# SW-Pri tunables.
+_WINDOW_US = 500.0           # sliding window for high-priority load
+_HIGH_LOAD_OPS = 100         # ops in window that count as *heavy* load
+_RTT_INFLATION = 1.5         # policy 3 trigger
+_MIN_LOW_RATE = 0.02         # ops/us when clamped hard (policy 1 or 3)
+_MID_LOW_RATE = 0.15         # ops/us under moderate high load
+
+
+class QosManager:
+    """Per-node QoS state and policy."""
+
+    def __init__(self, kernel, mode: Optional[str] = None):
+        if mode not in (None, "hw-sep", "sw-pri"):
+            raise ValueError(f"unknown QoS mode {mode!r}")
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.mode = mode
+        self._high_ops: Deque[float] = deque()
+        self._high_rtt_ewma: Optional[float] = None
+        self._high_rtt_floor: Optional[float] = None
+        self._next_low_slot = 0.0
+        self.low_delayed_ops = 0
+
+    # -- telemetry ---------------------------------------------------------
+    def observe(self, priority: int, rtt: float) -> None:
+        """Feed one completed op's (priority, RTT) into the policy."""
+        if priority != PRIORITY_HIGH:
+            return
+        now = self.sim.now
+        self._high_ops.append(now)
+        self._trim(now)
+        if self._high_rtt_ewma is None:
+            self._high_rtt_ewma = rtt
+        else:
+            self._high_rtt_ewma = 0.9 * self._high_rtt_ewma + 0.1 * rtt
+        if self._high_rtt_floor is None or rtt < self._high_rtt_floor:
+            self._high_rtt_floor = rtt
+
+    def _trim(self, now: float) -> None:
+        while self._high_ops and self._high_ops[0] < now - _WINDOW_US:
+            self._high_ops.popleft()
+
+    def high_load(self) -> int:
+        """High-priority ops seen in the sliding window."""
+        self._trim(self.sim.now)
+        return len(self._high_ops)
+
+    # -- QP selection (HW-Sep partitioning) ---------------------------------
+    def eligible_qps(self, peer, priority: int) -> List[Tuple]:
+        """(qp, window) pairs this priority class may use toward a peer."""
+        pairs = list(zip(peer.qps, peer.windows))
+        if self.mode != "hw-sep" or len(pairs) < 2:
+            return pairs
+        split = max(1, (len(pairs) * 3) // 4)
+        if priority == PRIORITY_HIGH:
+            return pairs[:split]
+        return pairs[split:]
+
+    def pick_qp(self, peer, priority: int) -> Tuple:
+        """Round-robin a (qp, window) from the class's eligible set."""
+        pairs = self.eligible_qps(peer, priority)
+        pair = pairs[peer._rr % len(pairs)]
+        peer._rr += 1
+        return pair
+
+    # -- SW-Pri gate ----------------------------------------------------------
+    def _low_rate_limit(self) -> Optional[float]:
+        """Allowed aggregate low-priority op rate (ops/us), None=unlimited."""
+        load = self.high_load()
+        if load == 0:
+            return None  # policy 2: no high traffic, no limit
+        rtt_inflated = (
+            self._high_rtt_ewma is not None
+            and self._high_rtt_floor is not None
+            and self._high_rtt_ewma > _RTT_INFLATION * self._high_rtt_floor
+        )
+        if load >= _HIGH_LOAD_OPS or rtt_inflated:
+            return _MIN_LOW_RATE  # policies 1 and 3
+        return _MID_LOW_RATE
+
+    def gate(self, priority: int):
+        """Admission for one op (generator; may delay low-priority)."""
+        if self.mode != "sw-pri" or priority == PRIORITY_HIGH:
+            return
+        rate = self._low_rate_limit()
+        if rate is None:
+            return
+        now = self.sim.now
+        start = max(now, self._next_low_slot)
+        self._next_low_slot = start + 1.0 / rate
+        if start > now:
+            self.low_delayed_ops += 1
+            yield self.sim.timeout(start - now)

@@ -1,0 +1,210 @@
+"""LITE's one-sided data plane (paper §4).
+
+The kernel performs address translation (lh + offset → per-chunk
+physical addresses) and permission checking locally, then issues native
+RDMA through the shared QPs using the peer's **global rkey** and raw
+physical addresses — so the remote RNIC needs no per-MR keys and no
+PTEs, and the remote CPU/kernel is never involved.
+
+Multi-chunk LMRs fan out into one RDMA op per touched chunk, issued
+concurrently (the <2 % overhead claim of §4.1).  Chunks local to the
+caller short-circuit into memcpy.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from ..verbs import Opcode, SendWR, WcStatus
+from .lmr import MappedLmr
+
+__all__ = ["OneSidedEngine", "RdmaOpError"]
+
+
+class RdmaOpError(Exception):
+    """A one-sided operation completed with an error status."""
+
+
+class OneSidedEngine:
+    """Kernel-side one-sided datapath over the shared QPs (§4)."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.params = kernel.params
+        self.reads = 0
+        self.writes = 0
+        self.atomics = 0
+
+    # -- helpers -----------------------------------------------------------
+    def _post(self, peer_id: int, wr: SendWR, priority: int):
+        """Issue one WR on a shared QP, respecting per-QP windows.
+
+        Generator; returns the completion status.
+        """
+        kernel = self.kernel
+        peer = kernel.peer(peer_id)
+        qp, window = kernel.qos.pick_qp(peer, priority)
+        yield window.request()
+        try:
+            kernel.node.cpu.charge("lite-post", self.params.rnic_doorbell_us)
+            status = yield qp.post_send(wr)
+        finally:
+            window.release()
+        return status
+
+    def _check(self, statuses: List[WcStatus], what: str) -> None:
+        for status in statuses:
+            if status is not WcStatus.SUCCESS:
+                raise RdmaOpError(f"LITE {what} failed: {status.value}")
+
+    # -- data ops -------------------------------------------------------------
+    def write(self, mapping: MappedLmr, offset: int, data: bytes, priority: int = 0):
+        """LT_write kernel path (generator)."""
+        kernel = self.kernel
+        yield from kernel.qos.gate(priority)
+        start = self.sim.now
+        procs = []
+        for chunk, chunk_off, piece_len, buf_off in mapping.plan(offset, len(data)):
+            piece = data[buf_off : buf_off + piece_len]
+            if chunk.node_id == kernel.lite_id:
+                yield from kernel.node.cpu.execute(
+                    piece_len / self.params.memcpy_bytes_per_us, tag="lite-local"
+                )
+                kernel._local_chunk_write(chunk, chunk_off, piece)
+                continue
+            peer = kernel.peer(chunk.node_id)
+            if chunk.rkey is not None:
+                remote_addr, rkey = chunk.va + chunk_off, chunk.rkey
+            else:
+                remote_addr, rkey = chunk.addr + chunk_off, peer.global_rkey
+            wr = SendWR(
+                Opcode.WRITE,
+                inline_data=piece,
+                remote_addr=remote_addr,
+                rkey=rkey,
+            )
+            procs.append(self.sim.process(self._post(chunk.node_id, wr, priority)))
+        if procs:
+            results = yield self.sim.all_of(procs)
+            self._check(list(results.values()), "write")
+        self.writes += 1
+        kernel.qos.observe(priority, self.sim.now - start)
+
+    def read(self, mapping: MappedLmr, offset: int, nbytes: int, priority: int = 0):
+        """LT_read kernel path (generator; returns bytes)."""
+        kernel = self.kernel
+        yield from kernel.qos.gate(priority)
+        start = self.sim.now
+        pieces = mapping.plan(offset, nbytes)
+        parts: List[bytes] = [b""] * len(pieces)
+        procs = []
+        proc_meta = []
+        for index, (chunk, chunk_off, piece_len, _buf_off) in enumerate(pieces):
+            if chunk.node_id == kernel.lite_id:
+                yield from kernel.node.cpu.execute(
+                    piece_len / self.params.memcpy_bytes_per_us, tag="lite-local"
+                )
+                parts[index] = kernel._local_chunk_read(chunk, chunk_off, piece_len)
+                continue
+            peer = kernel.peer(chunk.node_id)
+            if chunk.rkey is not None:
+                remote_addr, rkey = chunk.va + chunk_off, chunk.rkey
+            else:
+                remote_addr, rkey = chunk.addr + chunk_off, peer.global_rkey
+            wr = SendWR(
+                Opcode.READ,
+                remote_addr=remote_addr,
+                rkey=rkey,
+                read_length=piece_len,
+            )
+            procs.append(self.sim.process(self._post(chunk.node_id, wr, priority)))
+            proc_meta.append((index, wr))
+        if procs:
+            results = yield self.sim.all_of(procs)
+            self._check(list(results.values()), "read")
+            for index, wr in proc_meta:
+                parts[index] = wr.return_data or b""
+        self.reads += 1
+        kernel.qos.observe(priority, self.sim.now - start)
+        return b"".join(parts)
+
+    # -- atomics ---------------------------------------------------------------
+    def _atomic(self, mapping: MappedLmr, offset: int, opcode: Opcode,
+                compare_add: int, swap: int, priority: int):
+        kernel = self.kernel
+        pieces = mapping.plan(offset, 8)
+        if len(pieces) != 1:
+            raise ValueError("atomic target must not straddle chunks")
+        chunk, chunk_off, _len, _ = pieces[0]
+        if chunk.node_id == kernel.lite_id:
+            # Local word: the RNIC still arbitrates atomics, loop back.
+            yield self.sim.timeout(self.params.rnic_dma_setup_us)
+            region, base = kernel.node.memory.resolve(chunk.addr + chunk_off, 8)
+            old = struct.unpack("<Q", region.read(base, 8))[0]
+            if opcode is Opcode.FETCH_ADD:
+                new = (old + compare_add) % (1 << 64)
+            else:
+                new = swap if old == compare_add else old
+            region.write(base, struct.pack("<Q", new))
+            self.atomics += 1
+            return old
+        peer = kernel.peer(chunk.node_id)
+        if chunk.rkey is not None:
+            remote_addr, rkey = chunk.va + chunk_off, chunk.rkey
+        else:
+            remote_addr, rkey = chunk.addr + chunk_off, peer.global_rkey
+        wr = SendWR(
+            opcode,
+            remote_addr=remote_addr,
+            rkey=rkey,
+            compare_add=compare_add,
+            swap=swap,
+        )
+        status = yield from self._post(chunk.node_id, wr, priority)
+        self._check([status], opcode.value)
+        self.atomics += 1
+        return struct.unpack("<Q", wr.return_data)[0]
+
+    def fetch_add(self, mapping: MappedLmr, offset: int, delta: int, priority: int = 0):
+        """Atomic fetch-and-add on an LMR word (generator; returns old)."""
+        old = yield from self._atomic(
+            mapping, offset, Opcode.FETCH_ADD, delta, 0, priority
+        )
+        return old
+
+    def cmp_swap(self, mapping: MappedLmr, offset: int, expected: int, value: int,
+                 priority: int = 0):
+        """Atomic compare-and-swap (generator; returns the old value)."""
+        old = yield from self._atomic(
+            mapping, offset, Opcode.CMP_SWAP, expected, value, priority
+        )
+        return old
+
+    # -- raw physical-address ops (internal plumbing: RPC rings, etc.) -------
+    def raw_write(self, peer_id: int, phys_addr: int, data: bytes,
+                  imm: int = None, signaled: bool = True, priority: int = 0):
+        """Write to a raw physical address at a peer (generator)."""
+        peer = self.kernel.peer(peer_id)
+        opcode = Opcode.WRITE if imm is None else Opcode.WRITE_IMM
+        wr = SendWR(
+            opcode,
+            inline_data=data,
+            remote_addr=phys_addr,
+            rkey=peer.global_rkey,
+            imm=imm,
+            signaled=signaled,
+        )
+        status = yield from self._post(peer_id, wr, priority)
+        return status
+
+    def raw_write_async(self, peer_id: int, phys_addr: int, data: bytes,
+                        imm: int = None, priority: int = 0) -> None:
+        """Fire-and-forget raw write (LITE does not poll send state, §5.1)."""
+        self.sim.process(
+            self.raw_write(
+                peer_id, phys_addr, data, imm=imm, signaled=False, priority=priority
+            ),
+            name="lite-raw-write",
+        )

@@ -1,0 +1,354 @@
+"""LITE RPC: the write-imm ring mechanism (paper §5).
+
+Per (client-node → server-node) pair, the server owns a ring LMR
+(default 16 MB).  The client appends requests at its tail with a single
+RDMA write-imm — the 32-bit immediate carries the RPC function id and
+the ring offset — and the server's shared polling thread parses the IMM,
+lifts the request out of the ring, advances the head pointer, and hands
+the call to a user thread blocked in ``LT_recvRPC``.  The reply is a
+second write-imm straight into the client-supplied return buffer.
+
+Neither side ever polls send-completion state: a missing reply within
+the timeout is the failure signal (§5.1).  No receive *buffers* are
+consumed for RPC payloads — only bufferless IMM entries — which is
+where the Figure 12 memory-utilization win comes from.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from typing import Callable, Dict, Optional
+
+from ..sim import Store
+from .protocol import (
+    IMM_KIND_REPLY,
+    IMM_KIND_REQUEST,
+    REPLY_HEADER_BYTES,
+    REQ_HEADER_BYTES,
+    pack_reply_imm,
+    pack_request_imm,
+    unpack_imm,
+)
+
+__all__ = ["RpcEngine", "RpcCall", "RpcTimeoutError", "RpcError"]
+
+
+class RpcTimeoutError(Exception):
+    """No reply within the failure-detection window (§5.1)."""
+
+
+class RpcError(Exception):
+    """Server-side RPC failure (unknown function, reply too large...)."""
+
+
+_STATUS_OK = 0
+_STATUS_NO_FUNC = 1
+_STATUS_REPLY_TOO_BIG = 2
+
+
+class _ClientRing:
+    """Client-side view of its ring at one server."""
+
+    __slots__ = ("server_id", "ring_addr", "size", "tail_virtual", "head_region")
+
+    def __init__(self, server_id: int, ring_addr: int, size: int, head_region):
+        self.server_id = server_id
+        self.ring_addr = ring_addr
+        self.size = size
+        self.tail_virtual = 0
+        # The server RDMA-writes its head pointer here (step f).
+        self.head_region = head_region
+
+    def head_virtual(self) -> int:
+        """Server's progress pointer (read from the shared 8 B slot)."""
+        return struct.unpack("<Q", self.head_region.read(0, 8))[0]
+
+    def free_space(self) -> int:
+        """Ring bytes available for new requests."""
+        return self.size - (self.tail_virtual - self.head_virtual())
+
+
+class _ServerRing:
+    """Server-side state for one client's ring."""
+
+    __slots__ = ("client_id", "region", "size", "head_virtual",
+                 "client_head_slot_addr", "bytes_received")
+
+    def __init__(self, client_id: int, region, client_head_slot_addr: int):
+        self.client_id = client_id
+        self.region = region
+        self.size = region.size
+        self.head_virtual = 0
+        self.client_head_slot_addr = client_head_slot_addr
+        self.bytes_received = 0
+
+    def read_wrapped(self, pos: int, nbytes: int) -> bytes:
+        """Read ring bytes, wrapping past the physical end."""
+        pos %= self.size
+        if pos + nbytes <= self.size:
+            return self.region.read(pos, nbytes)
+        first = self.region.read(pos, self.size - pos)
+        return first + self.region.read(0, nbytes - len(first))
+
+
+class RpcCall:
+    """One received RPC invocation, as handed to ``LT_recvRPC``."""
+
+    __slots__ = ("func_id", "client_id", "input", "reply_addr", "token",
+                 "max_reply", "arrived_at", "replied")
+
+    def __init__(self, func_id, client_id, input_bytes, reply_addr, token,
+                 max_reply, arrived_at):
+        self.func_id = func_id
+        self.client_id = client_id
+        self.input = input_bytes
+        self.reply_addr = reply_addr
+        self.token = token
+        self.max_reply = max_reply
+        self.arrived_at = arrived_at
+        self.replied = False
+
+
+class _PendingCall:
+    __slots__ = ("event", "reply_region", "token")
+
+    def __init__(self, event, reply_region, token):
+        self.event = event
+        self.reply_region = reply_region
+        self.token = token
+
+
+class RpcEngine:
+    """The write-imm ring RPC stack of one LITE instance (§5)."""
+
+    _token_counter = itertools.count(start=1)
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.params = kernel.params
+        self.funcs: Dict[int, Store] = {}
+        self.client_rings: Dict[int, _ClientRing] = {}
+        self._binding: Dict[int, object] = {}  # in-flight bind events
+        self.server_rings: Dict[int, _ServerRing] = {}
+        self.pending: Dict[int, _PendingCall] = {}
+        self.calls_sent = 0
+        self.calls_served = 0
+
+    # ------------------------------------------------------------------
+    # Registration / binding
+    # ------------------------------------------------------------------
+    def register(self, func_id: int) -> None:
+        """Make ``func_id`` receivable on this node (LT_regRPC)."""
+        self.funcs.setdefault(func_id, Store(self.sim))
+
+    def server_bind(self, client_id: int, client_head_slot_addr: int) -> int:
+        """Allocate this client's ring (runs at the server; returns addr)."""
+        existing = self.server_rings.get(client_id)
+        if existing is not None:
+            return existing.region.addr
+        region = self.kernel.node.memory.alloc(self.params.lite_rpc_ring_bytes)
+        self.server_rings[client_id] = _ServerRing(
+            client_id, region, client_head_slot_addr
+        )
+        return region.addr
+
+    def _ensure_ring(self, server_id: int):
+        """Bind to the server's ring on first use (generator)."""
+        ring = self.client_rings.get(server_id)
+        if ring is not None:
+            return ring
+        in_flight = self._binding.get(server_id)
+        if in_flight is not None:
+            yield in_flight
+            return self.client_rings[server_id]
+        gate = self.sim.event()
+        self._binding[server_id] = gate
+        head_region = self.kernel.node.memory.alloc(8)
+        from .protocol import MsgType
+
+        reply = yield from self.kernel.ctrl_request(
+            server_id,
+            {
+                "type": MsgType.RING_BIND,
+                "head_slot_addr": head_region.addr,
+            },
+        )
+        ring = _ClientRing(
+            server_id,
+            reply["ring_addr"],
+            self.params.lite_rpc_ring_bytes,
+            head_region,
+        )
+        self.client_rings[server_id] = ring
+        del self._binding[server_id]
+        gate.succeed()
+        return ring
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        server_id: int,
+        func_id: int,
+        input_bytes: bytes,
+        max_reply: int = 4096,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        waiter: Optional[Callable] = None,
+    ):
+        """LT_RPC kernel path (generator; returns the reply bytes)."""
+        kernel = self.kernel
+        yield from kernel.qos.gate(priority)
+        call_start = self.sim.now
+        ring = yield from self._ensure_ring(server_id)
+        msg_len = REQ_HEADER_BYTES + len(input_bytes)
+        if msg_len > ring.size:
+            raise ValueError(f"RPC input of {len(input_bytes)} B exceeds ring size")
+        # Flow control: wait for the server's head-pointer updates.
+        while ring.free_space() < msg_len:
+            yield self.sim.timeout(1.0)
+        token = next(self._token_counter) & ((1 << 30) - 1)
+        reply_region = kernel.node.memory.alloc(REPLY_HEADER_BYTES + max_reply)
+        header = struct.pack(
+            "<QIII", reply_region.addr, token, len(input_bytes), max_reply
+        )
+        payload = header + input_bytes
+        pos = ring.tail_virtual % ring.size
+        ring.tail_virtual += msg_len
+        pending = _PendingCall(self.sim.event(), reply_region, token)
+        self.pending[token] = pending
+        imm = pack_request_imm(func_id, pos)
+        first_len = min(ring.size - pos, msg_len)
+        if first_len < msg_len:
+            # Wraps the physical end: land the first piece before the
+            # imm-carrying remainder (ordering, rare).
+            yield from kernel.onesided.raw_write(
+                server_id, ring.ring_addr + pos, payload[:first_len],
+                signaled=False, priority=priority,
+            )
+            kernel.onesided.raw_write_async(
+                server_id, ring.ring_addr, payload[first_len:], imm=imm,
+                priority=priority,
+            )
+        else:
+            kernel.onesided.raw_write_async(
+                server_id, ring.ring_addr + pos, payload, imm=imm,
+                priority=priority,
+            )
+        self.calls_sent += 1
+        # Wait for the reply write-imm; send state is never polled (§5.1).
+        wait_target = pending.event
+        if timeout is not None:
+            wait_target = self.sim.any_of(
+                [pending.event, self.sim.timeout(timeout)]
+            )
+        if waiter is None:
+            yield wait_target
+        else:
+            yield from waiter(wait_target)
+        if not pending.event.triggered:
+            self.pending.pop(token, None)
+            kernel.node.memory.free(reply_region)
+            raise RpcTimeoutError(
+                f"RPC {func_id} to LITE {server_id}: no reply in {timeout} us"
+            )
+        status, length = struct.unpack(
+            "<II", reply_region.read(0, REPLY_HEADER_BYTES)
+        )
+        data = reply_region.read(REPLY_HEADER_BYTES, length) if length else b""
+        kernel.node.memory.free(reply_region)
+        if status == _STATUS_NO_FUNC:
+            raise RpcError(f"no RPC function {func_id} at LITE {server_id}")
+        if status == _STATUS_REPLY_TOO_BIG:
+            raise RpcError("RPC reply exceeded the caller's max_reply")
+        kernel.qos.observe(priority, self.sim.now - call_start)
+        return data
+
+    # ------------------------------------------------------------------
+    # Poller dispatch (both directions)
+    # ------------------------------------------------------------------
+    def handle_imm(self, wc) -> None:
+        """Poller dispatch: route an IMM CQE (request or reply)."""
+        kind, func_id, value = unpack_imm(wc.imm)
+        if kind == IMM_KIND_REQUEST:
+            self._handle_request(wc, func_id, value)
+        elif kind == IMM_KIND_REPLY:
+            self._handle_reply(value)
+
+    def _handle_request(self, wc, func_id: int, pos: int) -> None:
+        client_id = self.kernel.node_to_lite.get(wc.src_node)
+        ring = self.server_rings.get(client_id)
+        if ring is None:
+            return  # stale traffic from an unbound client
+        header = ring.read_wrapped(pos, REQ_HEADER_BYTES)
+        reply_addr, token, input_len, max_reply = struct.unpack("<QIII", header)
+        input_bytes = ring.read_wrapped(pos + REQ_HEADER_BYTES, input_len)
+        msg_len = REQ_HEADER_BYTES + input_len
+        ring.head_virtual += msg_len
+        ring.bytes_received += msg_len
+        # Background header-pointer update to the client (step f).
+        self.kernel.onesided.raw_write_async(
+            client_id,
+            ring.client_head_slot_addr,
+            struct.pack("<Q", ring.head_virtual),
+        )
+        call = RpcCall(
+            func_id, client_id, input_bytes, reply_addr, token, max_reply,
+            self.sim.now,
+        )
+        store = self.funcs.get(func_id)
+        if store is None:
+            # Unknown function: error reply straight from the kernel.
+            self.kernel.onesided.raw_write_async(
+                client_id, reply_addr, struct.pack("<II", _STATUS_NO_FUNC, 0),
+                imm=pack_reply_imm(token),
+            )
+            return
+        store.put(call)
+
+    def _handle_reply(self, token: int) -> None:
+        pending = self.pending.pop(token, None)
+        if pending is not None and not pending.event.triggered:
+            pending.event.succeed()
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def wait_call(self, func_id: int):
+        """Event firing with the next RpcCall for ``func_id``."""
+        store = self.funcs.get(func_id)
+        if store is None:
+            raise RpcError(f"RPC function {func_id} is not registered here")
+        return store.get()
+
+    def finish_recv(self, call: RpcCall):
+        """Kernel half of LT_recvRPC: stack cost + the single data move."""
+        cost = self.params.lite_recv_stack_us
+        cost += len(call.input) / self.params.memcpy_bytes_per_us
+        yield self.sim.timeout(cost)
+        self.kernel.node.cpu.charge("lite-rpc-recv", cost)
+        self.calls_served += 1
+        return call
+
+    def reply(self, call: RpcCall, data: bytes):
+        """LT_replyRPC kernel path (generator; does not wait for wire)."""
+        if call.replied:
+            raise RpcError("RPC call already replied")
+        call.replied = True
+        yield self.sim.timeout(self.params.lite_reply_stack_us)
+        self.kernel.node.cpu.charge("lite-rpc-reply", self.params.lite_reply_stack_us)
+        if len(data) > call.max_reply:
+            self.kernel.onesided.raw_write_async(
+                call.client_id,
+                call.reply_addr,
+                struct.pack("<II", _STATUS_REPLY_TOO_BIG, 0),
+                imm=pack_reply_imm(call.token),
+            )
+            return
+        payload = struct.pack("<II", _STATUS_OK, len(data)) + data
+        self.kernel.onesided.raw_write_async(
+            call.client_id, call.reply_addr, payload, imm=pack_reply_imm(call.token)
+        )

@@ -1,0 +1,22 @@
+"""Hardware models: RNIC, fabric, host memory, CPUs, cost parameters."""
+
+from .caches import CacheStats, LruCache
+from .cpu import CpuSet
+from .fabric import Fabric, Port
+from .memory import HostMemory, OutOfMemoryError, PhysRegion
+from .params import DEFAULT_PARAMS, SimParams
+from .rnic import Rnic
+
+__all__ = [
+    "SimParams",
+    "DEFAULT_PARAMS",
+    "LruCache",
+    "CacheStats",
+    "HostMemory",
+    "PhysRegion",
+    "OutOfMemoryError",
+    "CpuSet",
+    "Fabric",
+    "Port",
+    "Rnic",
+]

@@ -1,0 +1,119 @@
+"""On-RNIC SRAM cache models.
+
+The RNIC keeps three kinds of state in its (small) SRAM: memory-region
+key records (lkey/rkey), cached page-table entries for registered
+regions, and per-QP connection state.  Each is modelled as an LRU cache
+with a fixed entry budget; a miss costs a host-memory fetch over PCIe.
+
+These caches are the mechanism behind the paper's Figures 4, 5 and the
+QP-count scalability discussion (§2.4): LITE sidesteps all three by
+registering a single physical-address MR and sharing K×N QPs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["LruCache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss counters, resettable between benchmark phases."""
+
+    __slots__ = ("hits", "misses", "evictions", "installs")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.installs = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.installs = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (1.0 when untouched)."""
+        total = self.accesses
+        return self.hits / total if total else 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.3f})"
+        )
+
+
+class LruCache:
+    """Fixed-capacity LRU over hashable keys.
+
+    ``access`` returns True on a hit.  On a miss the entry is installed
+    (the RNIC always fills after fetching from host memory), evicting the
+    least-recently-used entry if full.
+    """
+
+    def __init__(self, capacity: int, name: str = "cache"):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def access(self, key: Hashable) -> bool:
+        """Look up ``key``; True on hit (misses auto-install)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._install(key)
+        return False
+
+    def contains(self, key: Hashable) -> bool:
+        """Probe without updating recency or stats."""
+        return key in self._entries
+
+    def _install(self, key: Hashable) -> None:
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = None
+        self.stats.installs += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry (e.g., MR deregistration); True if present."""
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def invalidate_where(self, predicate) -> int:
+        """Drop all entries matching ``predicate(key)``; returns count."""
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (stats retained)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"LruCache({self.name}, {len(self._entries)}/{self.capacity}, "
+            f"{self.stats!r})"
+        )

@@ -1,0 +1,86 @@
+"""The InfiniBand fabric: one 40 Gbps switch, one link per node.
+
+Transfers model cut-through switching: a message occupies the sender's
+egress link and the receiver's ingress link for its serialization time
+(enforcing the 5 GB/s ceiling at both endpoints and under incast), and
+additionally pays the fixed propagation + switch latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim import FairResource, Simulator
+from .params import SimParams
+
+__all__ = ["Port", "Fabric"]
+
+
+class Port:
+    """A node's full-duplex link: independent TX and RX channels."""
+
+    def __init__(self, sim: Simulator, node_id: int):
+        self.node_id = node_id
+        # Fair per-flow (per-QP) arbitration, like the NIC's QP scheduler.
+        self.tx = FairResource(sim, capacity=1)
+        self.rx = FairResource(sim, capacity=1)
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+
+class Fabric:
+    """Single-switch network connecting all cluster nodes."""
+
+    def __init__(self, sim: Simulator, params: SimParams):
+        self.sim = sim
+        self.params = params
+        self.ports: Dict[int, Port] = {}
+        # Node objects register themselves here so protocol stacks can
+        # reach their peers (the simulation equivalent of "the wire knows
+        # where everyone is").
+        self.nodes: Dict[int, object] = {}
+        self.total_bytes = 0
+        self.transfer_count = 0
+
+    def attach(self, node_id: int) -> Port:
+        """Connect a node to the switch; returns its full-duplex port."""
+        if node_id in self.ports:
+            raise ValueError(f"node {node_id} already attached to fabric")
+        port = self.ports[node_id] = Port(self.sim, node_id)
+        return port
+
+    def transfer(self, src: int, dst: int, nbytes: int, flow: object = None):
+        """Move ``nbytes`` from ``src`` to ``dst``; completes on arrival.
+
+        Generator; the caller resumes when the last byte has landed.
+        ``flow`` selects the arbitration bucket (QPs pass their QPN so
+        backlogged flows share links fairly).  Loopback (src == dst)
+        short-circuits the wire but still pays a minimal PCIe round
+        through the NIC, matching how Verbs loopback behaves.
+        """
+        if src not in self.ports or dst not in self.ports:
+            raise ValueError(f"transfer between unattached nodes {src}->{dst}")
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        params = self.params
+        serialization = params.wire_time(nbytes)
+        self.total_bytes += nbytes
+        self.transfer_count += 1
+        if src == dst:
+            yield self.sim.timeout(serialization + params.link_propagation_us)
+            return
+        src_port, dst_port = self.ports[src], self.ports[dst]
+        src_port.tx_bytes += nbytes
+        dst_port.rx_bytes += nbytes
+        # Acquire egress then ingress (fixed order; a transfer waits on at
+        # most one resource while holding the other, so no cycles).
+        yield src_port.tx.request(flow)
+        try:
+            yield dst_port.rx.request(flow)
+            try:
+                yield self.sim.timeout(serialization)
+            finally:
+                dst_port.rx.release()
+        finally:
+            src_port.tx.release()
+        yield self.sim.timeout(params.one_way_fabric_us())

@@ -1,0 +1,198 @@
+"""Host DRAM model: physical allocation, real backing bytes, page identity.
+
+Data is *real* — every physical region is backed by a ``bytearray`` so
+applications (DSM, MapReduce, graph engine) move and compute on actual
+bytes — while allocation produces physically-contiguous extents from a
+first-fit free list, so external fragmentation behaves like a real buddy
+allocator under stress (§4.1's motivation for chunked LMRs).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+__all__ = ["PhysRegion", "HostMemory", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(Exception):
+    """No physically-contiguous extent of the requested size exists."""
+
+
+class PhysRegion:
+    """A physically-contiguous extent of host DRAM with real contents.
+
+    Backing storage is block-sparse (64 KiB blocks materialized on first
+    touch), so benchmarks can register very many — or multi-GB — regions
+    and only pay host RAM for bytes actually written: untouched blocks
+    read back as zeros, like the kernel's zero page.
+    """
+
+    _BLOCK = 65536
+
+    __slots__ = ("node_id", "addr", "size", "_blocks", "freed")
+
+    def __init__(self, node_id: int, addr: int, size: int):
+        self.node_id = node_id
+        self.addr = addr
+        self.size = size
+        self._blocks = {}
+        self.freed = False
+
+    def _check(self, offset: int, nbytes: int, what: str) -> None:
+        if self.freed:
+            raise ValueError(f"{what} on freed physical region")
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise ValueError(
+                f"{what} [{offset}, {offset + nbytes}) outside region "
+                f"of size {self.size}"
+            )
+
+    def write(self, offset: int, payload: bytes) -> None:
+        """Store real bytes (materializing touched blocks)."""
+        self._check(offset, len(payload), "write")
+        block_size = self._BLOCK
+        cursor = 0
+        while cursor < len(payload):
+            block_index = (offset + cursor) // block_size
+            inner = (offset + cursor) % block_size
+            take = min(block_size - inner, len(payload) - cursor)
+            block = self._blocks.get(block_index)
+            if block is None:
+                block = self._blocks[block_index] = bytearray(block_size)
+            block[inner : inner + take] = payload[cursor : cursor + take]
+            cursor += take
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Load real bytes; untouched blocks read as zeros."""
+        self._check(offset, nbytes, "read")
+        block_size = self._BLOCK
+        parts = []
+        cursor = 0
+        while cursor < nbytes:
+            block_index = (offset + cursor) // block_size
+            inner = (offset + cursor) % block_size
+            take = min(block_size - inner, nbytes - cursor)
+            block = self._blocks.get(block_index)
+            if block is None:
+                parts.append(b"\x00" * take)
+            else:
+                parts.append(bytes(block[inner : inner + take]))
+            cursor += take
+        return b"".join(parts)
+
+    def page_ids(self, page_size: int, offset: int = 0, nbytes: Optional[int] = None):
+        """Global page identities touched by an access, for PTE caching."""
+        if nbytes is None:
+            nbytes = self.size - offset
+        if nbytes <= 0:
+            return []
+        first = (self.addr + offset) // page_size
+        last = (self.addr + offset + nbytes - 1) // page_size
+        return [(self.node_id, page) for page in range(first, last + 1)]
+
+    def __repr__(self) -> str:
+        return f"PhysRegion(node={self.node_id}, addr={self.addr:#x}, size={self.size})"
+
+
+class HostMemory:
+    """First-fit physical allocator over a node's DRAM."""
+
+    def __init__(self, node_id: int, capacity: int = 128 * 1024 * 1024 * 1024):
+        self.node_id = node_id
+        self.capacity = capacity
+        # Free list of (addr, size), address-ordered, coalesced.
+        self._free: List[Tuple[int, int]] = [(0, capacity)]
+        self.allocated_bytes = 0
+        # Live regions indexed by base address (for physical-address DMA).
+        self._live: dict = {}
+        self._live_addrs: List[int] = []
+
+    def alloc(self, size: int) -> PhysRegion:
+        """First-fit allocate a physically-contiguous extent."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        for index, (addr, extent) in enumerate(self._free):
+            if extent >= size:
+                if extent == size:
+                    del self._free[index]
+                else:
+                    self._free[index] = (addr + size, extent - size)
+                self.allocated_bytes += size
+                region = PhysRegion(self.node_id, addr, size)
+                self._live[addr] = region
+                bisect.insort(self._live_addrs, addr)
+                return region
+        raise OutOfMemoryError(
+            f"node {self.node_id}: no contiguous {size} B extent "
+            f"({self.free_bytes} B free, largest {self.largest_free} B)"
+        )
+
+    def free(self, region: PhysRegion) -> None:
+        """Release an extent back to the (coalescing) free list."""
+        if region.freed:
+            raise ValueError("double free of physical region")
+        if region.node_id != self.node_id:
+            raise ValueError("region belongs to a different node")
+        region.freed = True
+        self.allocated_bytes -= region.size
+        del self._live[region.addr]
+        index = bisect.bisect_left(self._live_addrs, region.addr)
+        del self._live_addrs[index]
+        self._insert_free(region.addr, region.size)
+
+    def resolve(self, addr: int, nbytes: int = 0) -> Tuple[PhysRegion, int]:
+        """Map a physical address to (live region, offset within it).
+
+        Used by the RNIC when serving DMA against a physical-address MR
+        (LITE's global MR).  Raises if the address range is not backed by
+        a single live allocation.
+        """
+        index = bisect.bisect_right(self._live_addrs, addr) - 1
+        if index >= 0:
+            region = self._live[self._live_addrs[index]]
+            offset = addr - region.addr
+            if offset + max(nbytes, 1) <= region.size:
+                return region, offset
+        raise ValueError(
+            f"node {self.node_id}: physical range [{addr:#x}, "
+            f"{addr + nbytes:#x}) is not a live allocation"
+        )
+
+    def _insert_free(self, addr: int, size: int) -> None:
+        # Keep the list address-ordered and coalesce neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (addr, size))
+        # Coalesce with successor then predecessor.
+        if lo + 1 < len(self._free):
+            naddr, nsize = self._free[lo + 1]
+            if addr + size == naddr:
+                self._free[lo] = (addr, size + nsize)
+                del self._free[lo + 1]
+                size += nsize
+        if lo > 0:
+            paddr, psize = self._free[lo - 1]
+            if paddr + psize == addr:
+                self._free[lo - 1] = (paddr, psize + size)
+                del self._free[lo]
+
+    @property
+    def free_bytes(self) -> int:
+        """Total unallocated bytes."""
+        return sum(size for _addr, size in self._free)
+
+    @property
+    def largest_free(self) -> int:
+        """Largest contiguous free extent."""
+        return max((size for _addr, size in self._free), default=0)
+
+    @property
+    def fragment_count(self) -> int:
+        """Number of disjoint free extents (fragmentation gauge)."""
+        return len(self._free)

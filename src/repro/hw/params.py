@@ -1,0 +1,134 @@
+"""Calibrated hardware/OS cost model.
+
+All constants are derived from numbers the LITE paper itself reports
+(SOSP '17, §4–§8) plus public ConnectX-3 / InfiniBand FDR specs.  The
+DESIGN.md "Calibration constants" section records the provenance of each
+value.  Times are microseconds, sizes are bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["SimParams", "DEFAULT_PARAMS"]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+PAGE_SIZE = 4096
+
+
+@dataclass
+class SimParams:
+    """Every tunable cost in the simulated testbed.
+
+    The defaults model the paper's cluster: 2× Xeon E5-2620 (6 cores
+    each), 128 GB DRAM, one 40 Gbps Mellanox ConnectX-3, one 40 Gbps IB
+    switch.
+    """
+
+    # ---- fabric -----------------------------------------------------
+    link_bandwidth_bytes_per_us: float = 5000.0  # 40 Gbps = 5 GB/s
+    link_propagation_us: float = 0.05            # cable + PHY
+    switch_latency_us: float = 0.15              # single-hop cut-through
+
+    # ---- RNIC pipeline ----------------------------------------------
+    rnic_processing_units: int = 2               # parallel WQE engines
+    rnic_wqe_process_us: float = 0.10            # per work request
+    rnic_doorbell_us: float = 0.15               # MMIO post over PCIe
+    rnic_dma_setup_us: float = 0.15              # PCIe DMA start cost
+    rnic_dma_bytes_per_us: float = 10000.0        # PCIe 3.0 x8 effective
+    rnic_completion_us: float = 0.05             # CQE write-back
+    rnic_ack_us: float = 0.15                    # RC ACK turnaround
+    rnic_ud_header_bytes: int = 40               # GRH per UD packet
+
+    # ---- RNIC SRAM (the scalability bottleneck, paper §2.4) ---------
+    mr_key_cache_entries: int = 128              # Fig 4: knee ~100 MRs
+    mr_key_miss_penalty_us: float = 1.3          # fetch MR record via DMA
+    pte_cache_entries: int = 1024                # ×4 KB pages = 4 MB reach
+    pte_miss_penalty_us: float = 0.9             # Fig 5: knee at 4 MB
+    qp_cache_entries: int = 256                  # QP-state SRAM slots
+    qp_miss_penalty_us: float = 0.6
+
+    # ---- host memory / kernel ---------------------------------------
+    page_size: int = PAGE_SIZE
+    mr_register_base_us: float = 1.8             # ibv_reg_mr fixed cost
+    mr_pin_page_us: float = 0.38                 # get_user_pages per page
+    mr_unpin_page_us: float = 0.16               # put_page per page
+    mr_deregister_base_us: float = 1.0
+    malloc_base_us: float = 1.2                  # kernel buddy/slab alloc
+    malloc_per_mb_us: float = 0.8                # zeroing amortized
+    memcpy_bytes_per_us: float = 20000.0         # single-core DRAM copy
+    memset_bytes_per_us: float = 30000.0
+
+    # ---- syscall / crossing model (paper §5.2) ----------------------
+    user_kernel_crossing_us: float = 0.15        # one direction, naive
+    shared_page_return_us: float = 0.02          # optimized k->u "return"
+    syscall_total_naive_us: float = 0.30         # trap + return
+    lite_syscall_enter_us: float = 0.12          # optimized LITE entry
+    lite_sharedpage_return_us: float = 0.05      # library sees ready flag
+
+    # ---- CPU ---------------------------------------------------------
+    cores_per_node: int = 12                     # 2× 6-core E5-2620
+    poll_loop_us: float = 0.08                   # one busy-poll iteration
+    thread_wakeup_us: float = 1.8                # sleep->run transition
+    adaptive_busy_window_us: float = 10.0        # busy-check before sleep
+    context_switch_us: float = 1.2
+
+    # ---- LITE internals ----------------------------------------------
+    lite_metadata_us: float = 0.25               # map+perm check (§5.3)
+    lite_recv_stack_us: float = 0.30             # LT_recvRPC kernel path
+    lite_reply_stack_us: float = 0.20            # LT_replyRPC kernel path
+    lite_chunk_bytes: int = 4 * MB               # max physically-contig LMR chunk
+    lite_rpc_ring_bytes: int = 16 * MB           # per-client RPC ring LMR
+    lite_qp_factor_k: int = 2                    # K in K×N shared QPs
+    lite_qp_window: int = 16                     # outstanding ops per QP
+    lite_imm_post_batch: int = 64                # background IMM buffer posts
+    lite_ctrl_slots: int = 256                   # pre-posted control recvs
+    lite_ctrl_slot_bytes: int = 4096
+    lite_rpc_timeout_us: float = 1_000_000.0     # RPC failure detection
+    lite_reply_pool_bytes: int = 16 * MB         # client reply-slot pool
+
+    # ---- TCP/IP over IB (IPoIB) --------------------------------------
+    tcp_stack_tx_us: float = 6.0                 # per-send kernel TCP path
+    tcp_stack_rx_us: float = 7.0                 # per-recv incl. softirq
+    tcp_per_segment_us: float = 1.1              # seg processing both ends
+    tcp_segment_bytes: int = 65536 - 120         # IPoIB-UD MTU minus hdrs
+    tcp_bandwidth_bytes_per_us: float = 2600.0   # qperf-measured IPoIB ceiling
+    tcp_copy_bytes_per_us: float = 12000.0       # user<->kernel copies
+
+    # ---- RDMA-CM ------------------------------------------------------
+    rdma_cm_overhead_us: float = 0.12            # event-channel bookkeeping
+
+    derived: dict = field(default_factory=dict, repr=False)
+
+    def wire_time(self, nbytes: int) -> float:
+        """Serialization time of ``nbytes`` on one 40 Gbps link."""
+        return nbytes / self.link_bandwidth_bytes_per_us
+
+    def one_way_fabric_us(self) -> float:
+        """Fixed (size-independent) one-way fabric latency."""
+        return 2 * self.link_propagation_us + self.switch_latency_us
+
+    def dma_time(self, nbytes: int) -> float:
+        """PCIe DMA time for ``nbytes`` (setup + transfer)."""
+        return self.rnic_dma_setup_us + nbytes / self.rnic_dma_bytes_per_us
+
+    def memcpy_time(self, nbytes: int) -> float:
+        """Single-core DRAM copy time for ``nbytes``."""
+        return nbytes / self.memcpy_bytes_per_us
+
+    def pages_touched(self, offset: int, nbytes: int) -> int:
+        """Number of 4 KB pages an access of ``nbytes`` at ``offset`` spans."""
+        if nbytes <= 0:
+            return 0
+        first = offset // self.page_size
+        last = (offset + nbytes - 1) // self.page_size
+        return last - first + 1
+
+    def copy(self, **overrides) -> "SimParams":
+        """A new parameter set with ``overrides`` applied."""
+        return replace(self, **overrides)
+
+
+DEFAULT_PARAMS = SimParams()

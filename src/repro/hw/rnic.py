@@ -1,0 +1,97 @@
+"""RNIC model: WQE processing pipeline in front of finite SRAM caches.
+
+Every work request (local post or incoming one-sided packet) occupies
+one of the RNIC's processing units for its base cost plus whatever the
+SRAM lookups add:
+
+- *key lookup*: the MR record (lkey/rkey, bounds, permissions) must be
+  resident; a miss fetches it from host memory over PCIe.
+- *PTE lookups*: for MRs registered by virtual address, every 4 KB page
+  the access touches needs a cached PTE; misses fetch from the host page
+  table.  MRs registered by **physical address** (LITE's global MR) skip
+  this stage entirely — the core trick of §4.1.
+- *QP-state lookup*: the connection context for the QP.
+
+Cache-miss time is spent *inside* the pipeline unit, so misses burn
+RNIC throughput exactly the way Figure 5's thrashing collapse shows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..sim import Resource, Simulator
+from .caches import LruCache
+from .params import SimParams
+
+__all__ = ["Rnic"]
+
+
+class Rnic:
+    """One 40 Gbps ConnectX-3-class NIC attached to a host."""
+
+    def __init__(self, sim: Simulator, node_id: int, params: SimParams):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.key_cache = LruCache(params.mr_key_cache_entries, name="mr-keys")
+        self.pte_cache = LruCache(params.pte_cache_entries, name="ptes")
+        self.qp_cache = LruCache(params.qp_cache_entries, name="qp-state")
+        self._pipeline = Resource(sim, capacity=params.rnic_processing_units)
+        self.wqe_count = 0
+        self.bytes_dma = 0
+
+    # -- SRAM lookup costs (computed eagerly, spent inside process()) ---
+    def key_lookup_cost(self, key: int) -> float:
+        """Cost of locating one MR record in SRAM."""
+        if self.key_cache.access(key):
+            return 0.0
+        return self.params.mr_key_miss_penalty_us
+
+    def pte_lookup_cost(self, page_ids: Sequence) -> float:
+        """Cost of resolving the PTEs for every page an access touches."""
+        cost = 0.0
+        for page in page_ids:
+            if not self.pte_cache.access(page):
+                cost += self.params.pte_miss_penalty_us
+        return cost
+
+    def qp_lookup_cost(self, qp_id: int) -> float:
+        """Cost of resolving one QP's connection state in SRAM."""
+        if self.qp_cache.access(qp_id):
+            return 0.0
+        return self.params.qp_miss_penalty_us
+
+    def invalidate_mr(self, key: int, page_ids: Iterable = ()) -> None:
+        """Deregistration drops the MR record and its cached PTEs."""
+        self.key_cache.invalidate(key)
+        pages = set(page_ids)
+        if pages:
+            self.pte_cache.invalidate_where(lambda page: page in pages)
+
+    # -- pipeline --------------------------------------------------------
+    def process(self, extra_cost: float = 0.0, dma_bytes: int = 0):
+        """Occupy one processing unit for one work request.
+
+        ``extra_cost`` carries the SRAM miss penalties; ``dma_bytes``
+        adds the PCIe DMA transfer for the payload.
+        """
+        params = self.params
+        duration = params.rnic_wqe_process_us + extra_cost
+        if dma_bytes:
+            duration += params.dma_time(dma_bytes)
+            self.bytes_dma += dma_bytes
+        yield self._pipeline.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self._pipeline.release()
+        self.wqe_count += 1
+
+    def reset_stats(self) -> None:
+        """Zero cache stats and op counters."""
+        self.key_cache.stats.reset()
+        self.pte_cache.stats.reset()
+        self.qp_cache.stats.reset()
+        self.wqe_count = 0
+        self.bytes_dma = 0

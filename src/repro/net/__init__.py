@@ -1,0 +1,12 @@
+"""Non-RDMA network stacks: IPoIB TCP and the RDMA-CM wrapper."""
+
+from .rdma_cm import RdmaCmChannel, rdma_cm_connect
+from .tcpip import TcpConnection, TcpListener, TcpStack
+
+__all__ = [
+    "TcpStack",
+    "TcpConnection",
+    "TcpListener",
+    "RdmaCmChannel",
+    "rdma_cm_connect",
+]

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel used by every substrate."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import FairResource, Gauge, PriorityResource, Resource, Signal, Store
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Resource",
+    "FairResource",
+    "PriorityResource",
+    "Store",
+    "Signal",
+    "Gauge",
+]

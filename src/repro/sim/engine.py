@@ -1,0 +1,380 @@
+"""Discrete-event simulation engine.
+
+A compact, from-scratch engine in the style of SimPy: a :class:`Simulator`
+owns a time-ordered event heap, and :class:`Process` objects are Python
+generators that ``yield`` :class:`Event` instances to wait on them.
+
+All simulated time is in **microseconds** (float), matching the latency
+scales reported in the LITE paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal uses of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Events start *pending*; they are later *triggered* (succeed or fail)
+    and their callbacks run when the simulator pops them off the heap.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have run (value is final)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (raises if pending)."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's result (raises if still pending)."""
+        if self._value is PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(delay, self)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(delay, self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
+        if self._ok is False and not self._defused:
+            raise self._value
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        sim._enqueue(delay, self)
+
+
+class Process(Event):
+    """Wraps a generator; it is itself an event that fires on return.
+
+    The generator yields :class:`Event` objects.  When a yielded event
+    succeeds, its value is sent back into the generator; when it fails,
+    the exception is thrown into the generator.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process target is not a generator: {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        start = Event(sim)
+        start._ok = True
+        start._value = None
+        start.callbacks.append(self._resume)
+        sim._enqueue(0.0, start)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        # Detach from whatever the process currently waits on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        self.sim._enqueue(0.0, interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        self.sim.active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self.sim.active_process = None
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:
+                self.sim.active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self.sim.active_process = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as err:
+                    self.sim.active_process = None
+                    self.fail(err)
+                    return
+                continue
+
+            if target.callbacks is None:
+                # Already processed; resume immediately with its value.
+                event = target
+                continue
+
+            target.callbacks.append(self._resume)
+            self._target = target
+            self.sim.active_process = None
+            return
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = 0
+        for event in self.events:
+            if not isinstance(event, Event):
+                raise SimulationError(f"non-event in condition: {event!r}")
+        already_processed = []
+        for event in self.events:
+            if event.callbacks is None:
+                already_processed.append(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._observe)
+        for event in already_processed:
+            if self.triggered:
+                break
+            self._pre_observe(event)
+        self._check_start()
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _pre_observe(self, event: Event) -> None:
+        """Handle an event that was already processed at condition birth."""
+        raise NotImplementedError
+
+    def _check_start(self) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        return {
+            index: event._value
+            for index, event in enumerate(self.events)
+            if event.processed and event._ok
+        }
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired."""
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok is False:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending <= 0:
+            self.succeed(self._results())
+
+    def _pre_observe(self, event: Event) -> None:
+        if event._ok is False:
+            self.fail(event._value)
+
+    def _check_start(self) -> None:
+        if not self.triggered and self._pending <= 0:
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires."""
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok is False:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._results())
+
+    def _pre_observe(self, event: Event) -> None:
+        if event._ok is False:
+            self.fail(event._value)
+        else:
+            self.succeed(self._results())
+
+    def _check_start(self) -> None:
+        return None
+
+
+class Simulator:
+    """The event loop: owns simulated time and the pending-event heap."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self.active_process: Optional[Process] = None
+
+    # -- scheduling -----------------------------------------------------
+    def _enqueue(self, delay: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` us from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn ``generator`` as a concurrent process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when every given event has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first given event fires."""
+        return AnyOf(self, events)
+
+    # -- execution ------------------------------------------------------
+    def step(self) -> None:
+        """Pop and execute the next scheduled event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None, stop: Optional[Event] = None):
+        """Run until the heap drains, ``until`` time passes, or ``stop`` fires.
+
+        Returns the value of ``stop`` if given and it fired.
+        """
+        if stop is not None and not isinstance(stop, Event):
+            raise SimulationError("stop must be an Event")
+        while self._heap:
+            if stop is not None and stop.processed:
+                break
+            if until is not None and self.peek() > until:
+                self.now = until
+                break
+            self.step()
+        if stop is not None:
+            if not stop.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before stop condition fired"
+                )
+            if stop._ok:
+                return stop._value
+            stop._defused = True
+            raise stop._value
+        return None
+
+    def run_process(self, generator: Generator, until: Optional[float] = None):
+        """Convenience: spawn ``generator`` and run until it finishes."""
+        proc = self.process(generator)
+        return self.run(until=until, stop=proc)

@@ -1,0 +1,271 @@
+"""Shared-resource primitives built on the event engine.
+
+These mirror the small set of coordination constructs the LITE stack and
+its applications need: counted resources (NIC processing slots, CPU
+cores), FIFO stores (message queues, completion queues), and simple
+broadcast signals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .engine import Event, Simulator, SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Store", "Signal", "Gauge"]
+
+
+class Resource:
+    """A counted resource with FIFO waiters.
+
+    ``request()`` returns an event that fires once a slot is granted; the
+    holder must call ``release()`` exactly once per granted request.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def request(self) -> Event:
+        """Event granting one slot (immediately or when freed)."""
+        event = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one slot; hands it to the FIFO-next waiter."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+    def acquire(self):
+        """Generator helper: ``yield from resource.acquire()``."""
+        yield self.request()
+
+    @property
+    def queue_length(self) -> int:
+        """Waiters currently queued."""
+        return len(self._waiters)
+
+
+class PriorityResource:
+    """A counted resource whose waiters are served lowest-priority-first.
+
+    Priority ties are broken FIFO.  Used by the QoS layer to prefer
+    high-priority (numerically lower) traffic when a shared QP is
+    contended.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: list = []
+        self._seq = 0
+
+    def request(self, priority: int = 0) -> Event:
+        """Event granting one slot; lower ``priority`` served first."""
+        event = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._seq += 1
+            self._waiters.append((priority, self._seq, event))
+            self._waiters.sort(key=lambda item: (item[0], item[1]))
+        return event
+
+    def release(self) -> None:
+        """Return one slot to the highest-priority waiter."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            _prio, _seq, event = self._waiters.pop(0)
+            event.succeed()
+        else:
+            self.in_use -= 1
+
+
+class FairResource:
+    """Capacity-1 resource with round-robin arbitration across *flows*.
+
+    Models how an RNIC/link scheduler serves backlogged QPs: each flow
+    (QP) gets an equal share of grant slots, regardless of how many
+    requests any single flow has queued.  ``request(flow)`` with the
+    same flow key lands in that flow's FIFO; grants rotate round-robin
+    over flows with waiters.  This is what makes HW-Sep-style QoS
+    (reserving QPs per priority class) actually shape bandwidth.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._queues: "dict[object, Deque[Event]]" = {}
+        self._rr: Deque[object] = deque()  # flows with waiters, RR order
+
+    def request(self, flow: object = None) -> Event:
+        event = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+            return event
+        queue = self._queues.get(flow)
+        if queue is None:
+            queue = self._queues[flow] = deque()
+            self._rr.append(flow)
+        queue.append(event)
+        return event
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        while self._rr:
+            flow = self._rr[0]
+            queue = self._queues.get(flow)
+            if not queue:
+                self._rr.popleft()
+                del self._queues[flow]
+                continue
+            event = queue.popleft()
+            self._rr.rotate(-1)
+            if not queue:
+                # Flow drained: drop it from rotation.
+                try:
+                    self._rr.remove(flow)
+                except ValueError:
+                    pass
+                del self._queues[flow]
+            event.succeed()
+            return
+        self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks (queues in LITE and Verbs have explicit overflow
+    handling at a higher level); ``get`` returns an event that fires with
+    the next item.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Enqueue an item (never blocks); wakes one getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        """Event yielding the next item (FIFO)."""
+        event = self.sim.event()
+        if self.items:
+            event.succeed(self.items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking pop; returns None when empty."""
+        if self.items:
+            return self.items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Signal:
+    """A restartable broadcast event ("condition variable" light).
+
+    ``wait()`` returns an event that fires at the next ``fire()`` call.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._waiters: Deque[Event] = deque()
+
+    def wait(self) -> Event:
+        """Event firing at the next ``fire()``."""
+        event = self.sim.event()
+        self._waiters.append(event)
+        return event
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        woken = len(self._waiters)
+        while self._waiters:
+            self._waiters.popleft().succeed(value)
+        return woken
+
+
+class Gauge:
+    """Time-weighted average tracker for utilization-style metrics."""
+
+    def __init__(self, sim: Simulator, value: float = 0.0):
+        self.sim = sim
+        self._value = value
+        self._last_change = sim.now
+        self._area = 0.0
+        self._start = sim.now
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Set the gauge, accruing time-weighted area."""
+        now = self.sim.now
+        self._area += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta``."""
+        self.set(self._value + delta)
+
+    def time_average(self) -> float:
+        """Time-weighted mean since creation."""
+        elapsed = self.sim.now - self._start
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (self.sim.now - self._last_change)
+        return area / elapsed
+
+
+def rate_limiter(sim: Simulator, rate_per_us: Callable[[], float]):
+    """Generator helper: wait the inter-token gap of a dynamic rate.
+
+    ``rate_per_us`` is sampled at each call so policies can adjust the
+    rate while traffic is in flight (used by the SW-Pri QoS policy).
+    """
+    rate = rate_per_us()
+    if rate <= 0:
+        raise SimulationError("rate limiter needs a positive rate")
+    yield sim.timeout(1.0 / rate)

@@ -1,0 +1,39 @@
+"""Native RDMA Verbs substrate (the interface LITE builds upon)."""
+
+from .cq import CompletionQueue
+from .device import Device, ProtectionDomain
+from .mr import MemoryRegion
+from .qp import QueuePair, SharedReceiveQueue
+from .wr import (
+    ACK_BYTES,
+    Access,
+    Opcode,
+    RecvWR,
+    SendWR,
+    Sge,
+    UD_MTU,
+    WcStatus,
+    WorkCompletion,
+    WIRE_HEADER_BYTES,
+    wire_bytes,
+)
+
+__all__ = [
+    "Device",
+    "ProtectionDomain",
+    "MemoryRegion",
+    "QueuePair",
+    "SharedReceiveQueue",
+    "CompletionQueue",
+    "Access",
+    "Opcode",
+    "WcStatus",
+    "Sge",
+    "SendWR",
+    "RecvWR",
+    "WorkCompletion",
+    "WIRE_HEADER_BYTES",
+    "ACK_BYTES",
+    "UD_MTU",
+    "wire_bytes",
+]

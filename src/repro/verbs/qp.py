@@ -1,0 +1,283 @@
+"""Queue pairs and the RDMA datapath.
+
+Each posted work request becomes an independent simulation process that
+walks the real pipeline: doorbell → local RNIC (QP/key/PTE lookups +
+DMA) → wire → remote RNIC (lookups + DMA + actual memory access) →
+ACK → CQE.  SRAM-cache misses are spent inside the RNIC pipeline, so
+they consume NIC throughput exactly as on real hardware.
+
+Supported: RC (all ops incl. one-sided and atomics), UC (write/send,
+unacked), UD (send only, MTU-bound, per-WR destination).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..sim import Process, Resource, Simulator, Store
+from .wr import (
+    ACK_BYTES,
+    Access,
+    Opcode,
+    RecvWR,
+    SendWR,
+    UD_MTU,
+    WcStatus,
+    WorkCompletion,
+    wire_bytes,
+)
+
+__all__ = ["QueuePair", "SharedReceiveQueue"]
+
+_ONE_SIDED = (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.READ)
+_ATOMICS = (Opcode.FETCH_ADD, Opcode.CMP_SWAP)
+
+
+class SharedReceiveQueue:
+    """An SRQ: one recv-buffer pool shared by many QPs (Verbs SRQ)."""
+
+    def __init__(self, sim: Simulator):
+        self._store = Store(sim)
+        self.posted = 0
+
+    def post_recv(self, wr: RecvWR) -> None:
+        """Add one receive buffer to the shared pool."""
+        self.posted += 1
+        self._store.put(wr)
+
+    def get(self):
+        """Event yielding the next posted RecvWR (FIFO)."""
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class QueuePair:
+    """One send/recv queue pair on a device."""
+
+    def __init__(
+        self,
+        device,
+        qpn: int,
+        qp_type: str,
+        pd,
+        send_cq,
+        recv_cq,
+        max_send_wr: int = 1024,
+        srq: Optional[SharedReceiveQueue] = None,
+    ):
+        if qp_type not in ("RC", "UC", "UD"):
+            raise ValueError(f"unknown QP type {qp_type!r}")
+        self.device = device
+        self.sim: Simulator = device.sim
+        self.qpn = qpn
+        self.qp_type = qp_type
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.srq = srq
+        self._own_rq: Store = Store(self.sim)
+        self._sq_slots = Resource(self.sim, capacity=max_send_wr)
+        # RC/UC responder ordering: operations of one QP execute at the
+        # remote node in *posting order* (the transport guarantee LITE's
+        # ring protocol and FaRM-style memory polling both rely on).
+        # Implemented as a completion chain assigned at post time; UD is
+        # unordered by spec.
+        self._last_remote_done = None
+        self.remote: Optional[Tuple[int, int]] = None  # (node_id, qpn)
+        self.posted_sends = 0
+        self.posted_recvs = 0
+        self.rnr_stalls = 0
+
+    # -- connection -----------------------------------------------------
+    def connect(self, remote_node_id: int, remote_qpn: int) -> None:
+        """Point this RC/UC QP at its remote peer (RTS)."""
+        if self.qp_type == "UD":
+            raise ValueError("UD QPs are connectionless")
+        self.remote = (remote_node_id, remote_qpn)
+
+    # -- receive side ----------------------------------------------------
+    def post_recv(self, wr: RecvWR) -> None:
+        """Post a receive buffer (to the SRQ when attached)."""
+        self.posted_recvs += 1
+        if self.srq is not None:
+            self.srq.post_recv(wr)
+        else:
+            self._own_rq.put(wr)
+
+    def _rq_get(self):
+        source = self.srq if self.srq is not None else self._own_rq
+        if len(source) == 0:
+            self.rnr_stalls += 1
+        return source.get()
+
+    # -- send side ---------------------------------------------------------
+    def post_send(self, wr: SendWR, dst: Optional[Tuple[int, int]] = None) -> Process:
+        """Post a work request; returns the in-flight op as a Process.
+
+        ``dst`` is the (node_id, qpn) address handle, required for UD and
+        ignored for connected QPs.
+        """
+        if self.qp_type == "UD":
+            if dst is None:
+                raise ValueError("UD post_send needs a destination address handle")
+            if wr.opcode is not Opcode.SEND:
+                raise ValueError("UD supports only SEND")
+            if wr.length > UD_MTU:
+                raise ValueError(f"UD payload {wr.length} exceeds MTU {UD_MTU}")
+        else:
+            if self.remote is None:
+                raise ValueError("QP is not connected")
+            dst = self.remote
+        if self.qp_type == "UC" and wr.opcode in (Opcode.READ,) + _ATOMICS:
+            raise ValueError(f"UC does not support {wr.opcode.value}")
+        for sge in wr.sgl:
+            if sge.mr.pd is not self.pd:
+                raise ValueError("sge MR belongs to a different PD")
+            if sge.mr.deregistered:
+                raise ValueError("sge MR is deregistered")
+        self.posted_sends += 1
+        predecessor = None
+        if self.qp_type != "UD":
+            predecessor = self._last_remote_done
+            self._last_remote_done = self.sim.event()
+            wr._order_done = self._last_remote_done
+        return self.sim.process(
+            self._execute(wr, dst, predecessor), name=f"qp{self.qpn}-send"
+        )
+
+    # -- datapath ------------------------------------------------------------
+    def _gather(self, wr: SendWR) -> bytes:
+        if wr.inline_data is not None:
+            return bytes(wr.inline_data)
+        parts = [sge.mr.read(sge.offset, sge.length) for sge in wr.sgl]
+        return b"".join(parts)
+
+    def _scatter(self, wr: SendWR, payload: bytes) -> None:
+        if not wr.sgl:
+            wr.return_data = payload
+            return
+        cursor = 0
+        for sge in wr.sgl:
+            sge.mr.write(sge.offset, payload[cursor : cursor + sge.length])
+            cursor += sge.length
+
+    def _local_lookup_cost(self, wr: SendWR) -> float:
+        """SRAM cost of resolving the local QP + every local SGE."""
+        rnic = self.device.rnic
+        cost = rnic.qp_lookup_cost(self.qpn)
+        for sge in wr.sgl:
+            cost += rnic.key_lookup_cost(sge.mr.lkey)
+            cost += rnic.pte_lookup_cost(sge.mr.page_ids(sge.offset, sge.length))
+        return cost
+
+    def _execute(self, wr: SendWR, dst: Tuple[int, int], predecessor=None):
+        sim, params = self.sim, self.device.params
+        fabric = self.device.node.fabric
+        src_node = self.device.node.node_id
+        dst_node, dst_qpn = dst
+
+        yield self._sq_slots.request()
+        try:
+            # 1. Doorbell: MMIO post over PCIe.
+            yield sim.timeout(params.rnic_doorbell_us)
+
+            # 2. Local RNIC: lookups + payload DMA from host memory.
+            payload = b""
+            outbound_dma = 0
+            if wr.opcode in (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND):
+                payload = self._gather(wr)
+                outbound_dma = len(payload)
+            cost = self._local_lookup_cost(wr)
+            yield from self.device.rnic.process(cost, dma_bytes=outbound_dma)
+
+            # 3. Wire out: headers per MTU; READ/atomics send a request only.
+            if wr.opcode is Opcode.READ:
+                out_bytes = wire_bytes(0)
+            elif wr.opcode in _ATOMICS:
+                out_bytes = wire_bytes(16)  # operands ride in the header
+            else:
+                out_bytes = wire_bytes(len(payload))
+            header_bytes = (
+                params.rnic_ud_header_bytes if self.qp_type == "UD" else 0
+            )
+            yield from fabric.transfer(
+                src_node, dst_node, out_bytes + header_bytes, flow=self.qpn
+            )
+
+            # 4. Remote execution: for RC/UC, strictly after the
+            # previous WR on this QP finished executing remotely.
+            remote_device = fabric.nodes[dst_node].device
+            if predecessor is not None and not predecessor.processed:
+                yield predecessor
+            try:
+                status, byte_len, return_payload = yield from remote_device.inbound(
+                    opcode=wr.opcode,
+                    src_node=src_node,
+                    src_qpn=self.qpn,
+                    dst_qpn=dst_qpn,
+                    rkey=wr.rkey,
+                    remote_addr=wr.remote_addr,
+                    payload=payload,
+                    imm=wr.imm,
+                    length=wr.length,
+                    compare_add=wr.compare_add,
+                    swap=wr.swap,
+                    qp_type=self.qp_type,
+                )
+            finally:
+                done = getattr(wr, "_order_done", None)
+                if done is not None and not done.triggered:
+                    done.succeed()
+
+            if wr.delivered is not None and not wr.delivered.triggered:
+                wr.delivered.succeed(status)
+
+            # 5. Response path: RC acks everything; READ/atomics return data.
+            if wr.opcode is Opcode.READ and status is WcStatus.SUCCESS:
+                yield from fabric.transfer(
+                    dst_node, src_node, wire_bytes(len(return_payload)),
+                    flow=self.qpn,
+                )
+                # Local RNIC scatters the response into the SGL.
+                cost = self.device.rnic.qp_lookup_cost(self.qpn)
+                yield from self.device.rnic.process(
+                    cost, dma_bytes=len(return_payload)
+                )
+                self._scatter(wr, return_payload)
+            elif wr.opcode in _ATOMICS and status is WcStatus.SUCCESS:
+                yield from fabric.transfer(
+                    dst_node, src_node, wire_bytes(8), flow=self.qpn
+                )
+                yield from self.device.rnic.process(0.0, dma_bytes=8)
+                self._scatter(wr, return_payload)
+            elif self.qp_type == "RC":
+                yield from fabric.transfer(
+                    dst_node, src_node, ACK_BYTES, flow=self.qpn
+                )
+                yield sim.timeout(params.rnic_ack_us)
+            # UC/UD: fire and forget; completion means "sent".
+
+            # 6. Requester CQE.
+            if wr.signaled or status is not WcStatus.SUCCESS:
+                yield sim.timeout(params.rnic_completion_us)
+                wc = WorkCompletion(
+                    wr_id=wr.wr_id,
+                    status=status,
+                    opcode=wr.opcode,
+                    byte_len=byte_len,
+                    imm=wr.imm,
+                    qp_num=self.qpn,
+                )
+                if self.send_cq is not None:
+                    self.send_cq.push(wc)
+            return status
+        finally:
+            self._sq_slots.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"QP(qpn={self.qpn}, {self.qp_type}, node={self.device.node.node_id}, "
+            f"remote={self.remote})"
+        )

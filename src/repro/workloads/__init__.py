@@ -1,0 +1,15 @@
+"""Workload generators standing in for the paper's proprietary traces."""
+
+from .facebook_kv import FacebookKV
+from .graphgen import degree_histogram, powerlaw_graph
+from .textgen import generate_corpus, vocabulary
+from .zipf import ZipfSampler
+
+__all__ = [
+    "FacebookKV",
+    "ZipfSampler",
+    "powerlaw_graph",
+    "degree_histogram",
+    "generate_corpus",
+    "vocabulary",
+]

@@ -1,0 +1,40 @@
+"""Zipfian sampling (key popularity, word frequencies)."""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Optional
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Draws integers in [0, n) with P(k) proportional to 1/(k+1)^s.
+
+    Uses a precomputed CDF + binary search: O(n) setup, O(log n) draws.
+    """
+
+    def __init__(self, n: int, s: float = 0.99, rng: Optional[random.Random] = None):
+        if n < 1:
+            raise ValueError(f"need at least one item, got {n}")
+        if s < 0:
+            raise ValueError(f"zipf exponent must be >= 0, got {s}")
+        self.n = n
+        self.s = s
+        self.rng = rng if rng is not None else random.Random(0)
+        cdf: List[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / ((rank + 1) ** s)
+            cdf.append(total)
+        self._cdf = [value / total for value in cdf]
+
+    def sample(self) -> int:
+        """One Zipf-distributed draw in [0, n)."""
+        u = self.rng.random()
+        return bisect.bisect_left(self._cdf, u)
+
+    def sample_many(self, count: int) -> List[int]:
+        """``count`` independent draws."""
+        return [self.sample() for _ in range(count)]

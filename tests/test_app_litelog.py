@@ -1,0 +1,214 @@
+"""Tests for LITE-Log (distributed atomic logging, §8.1)."""
+
+import struct
+
+import pytest
+
+from repro.apps.litelog import LiteLog, LogCleaner, LogEntry, LogWriter
+from repro.cluster import Cluster
+from repro.core import LiteContext, lite_boot
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    return cluster, kernels
+
+
+def test_entry_roundtrip():
+    entry = LogEntry(b"payload-bytes")
+    blob = entry.encoded()
+    decoded, end = LogEntry.decode(blob, 0)
+    assert decoded.payload == b"payload-bytes"
+    assert end == len(blob)
+
+
+def test_entry_corruption_detected():
+    blob = bytearray(LogEntry(b"x" * 32).encoded())
+    blob[1] ^= 0xFF  # flip a length byte
+    with pytest.raises(ValueError):
+        LogEntry.decode(bytes(blob), 0)
+
+
+def test_commit_is_remote_and_atomic(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "logger")
+
+    def proc():
+        # Log hosted on node 3; writer on node 1: fully one-sided.
+        log = yield from LiteLog.create(ctx, "L1", 1 << 20, home_node=3)
+        writer = LogWriter(log, writer_id=1)
+        writer.append(b"entry-one")
+        writer.append(b"entry-two")
+        offset = yield from writer.commit()
+        tail = yield from log.read_tail()
+        count = yield from log.committed_count()
+        blob = yield from writer.read_transaction(offset, tail - offset)
+        return offset, tail, count, blob
+
+    offset, tail, count, blob = cluster.run_process(proc())
+    assert offset == 0
+    assert count == 1
+    entry1, next_off = LogEntry.decode(blob, 0)
+    entry2, rec_off = LogEntry.decode(blob, next_off)
+    assert (entry1.payload, entry2.payload) == (b"entry-one", b"entry-two")
+    txid, magic = struct.unpack_from("<QI", blob, rec_off)
+    assert magic == 0xC0FFEE01
+    assert tail == len(blob)
+
+
+def test_concurrent_writers_get_disjoint_space(env):
+    cluster, kernels = env
+    sim = cluster.sim
+    offsets = []
+
+    def writer_proc(ctx, writer_id, n_commits):
+        log = yield from LiteLog.open(ctx, "L2")
+        writer = LogWriter(log, writer_id=writer_id)
+        for index in range(n_commits):
+            writer.append(f"w{writer_id}-c{index}".encode() * 3)
+            offset = yield from writer.commit()
+            size = 0  # recompute committed blob size
+            offsets.append((offset, writer_id, index))
+
+    def proc():
+        creator = LiteContext(kernels[0], "creator")
+        yield from LiteLog.create(creator, "L2", 1 << 20, home_node=2)
+        procs = [
+            sim.process(writer_proc(LiteContext(kernels[i], f"w{i}"), i, 10))
+            for i in (0, 1, 2)
+        ]
+        yield sim.all_of(procs)
+
+    cluster.run_process(proc())
+    starts = sorted(offset for offset, _w, _i in offsets)
+    assert len(starts) == 30
+    assert len(set(starts)) == 30  # all reservations disjoint
+
+
+def test_committed_counter_matches_commits(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "logger")
+
+    def proc():
+        log = yield from LiteLog.create(ctx, "L3", 1 << 18, home_node=2)
+        writer = LogWriter(log)
+        for index in range(25):
+            writer.append(bytes([index]) * 16)
+            yield from writer.commit()
+        count = yield from log.committed_count()
+        return count
+
+    assert cluster.run_process(proc()) == 25
+
+
+def test_commit_without_entries_rejected(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "logger")
+
+    def proc():
+        log = yield from LiteLog.create(ctx, "L4", 1 << 16)
+        writer = LogWriter(log)
+        with pytest.raises(ValueError):
+            yield from writer.commit()
+
+    cluster.run_process(proc())
+
+
+def test_cleaner_reclaims_committed_space(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "logger")
+
+    def proc():
+        log = yield from LiteLog.create(ctx, "L5", 1 << 18, home_node=2)
+        writer = LogWriter(log)
+        for _ in range(10):
+            writer.append(b"z" * 100)
+            yield from writer.commit()
+        cleaner = LogCleaner(log, batch_bytes=1 << 16)
+        reclaimed = yield from cleaner.clean_once()
+        head = yield from log.read_head()
+        return reclaimed, head
+
+    reclaimed, head = cluster.run_process(proc())
+    assert reclaimed > 0
+    assert head == reclaimed
+
+
+def test_cleaner_lock_excludes_concurrent_cleaners(env):
+    cluster, kernels = env
+    sim = cluster.sim
+    results = []
+
+    def clean_proc(ctx):
+        log = yield from LiteLog.open(ctx, "L6")
+        cleaner = LogCleaner(log)
+        got = yield from cleaner.clean_once()
+        results.append(got)
+
+    def proc():
+        creator = LiteContext(kernels[0], "creator")
+        log = yield from LiteLog.create(creator, "L6", 1 << 18, home_node=3)
+        writer = LogWriter(log)
+        for _ in range(20):
+            writer.append(b"q" * 200)
+            yield from writer.commit()
+        procs = [
+            sim.process(clean_proc(LiteContext(kernels[i], f"c{i}")))
+            for i in (0, 1)
+        ]
+        yield sim.all_of(procs)
+
+    cluster.run_process(proc())
+    # One cleaner won the test-and-set; the other got nothing.
+    assert sorted(results)[0] == 0
+    assert sorted(results)[1] > 0
+
+
+def test_log_wraps_around(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "logger")
+
+    def proc():
+        log = yield from LiteLog.create(ctx, "L7", 4096, home_node=2)
+        writer = LogWriter(log)
+        for index in range(10):
+            writer.append(bytes([index]) * 700)
+            yield from writer.commit()
+        count = yield from log.committed_count()
+        return count
+
+    # 10 commits of ~720 B in a 4 KB log: must wrap repeatedly, no error.
+    assert cluster.run_process(proc()) == 10
+
+
+def test_commit_throughput_is_hundreds_of_k_per_sec(env):
+    """§8.1: ~833 K single-entry (16 B) commits/s from two nodes."""
+    cluster, kernels = env
+    sim = cluster.sim
+    committed = [0]
+
+    def writer_proc(ctx, writer_id):
+        log = yield from LiteLog.open(ctx, "L8")
+        writer = LogWriter(log, writer_id=writer_id)
+        while sim.now < 5000.0:  # 5 ms of simulated commits
+            writer.append(b"x" * 16)
+            yield from writer.commit()
+            committed[0] += 1
+
+    def proc():
+        creator = LiteContext(kernels[0], "creator")
+        yield from LiteLog.create(creator, "L8", 1 << 22, home_node=3)
+        procs = []
+        for node_index in (0, 1):  # two committing nodes, 2 threads each
+            for thread in range(2):
+                ctx = LiteContext(kernels[node_index], f"w{node_index}{thread}")
+                procs.append(
+                    sim.process(writer_proc(ctx, node_index * 10 + thread))
+                )
+        yield sim.all_of(procs)
+
+    cluster.run_process(proc())
+    rate_per_sec = committed[0] / 5e-3
+    assert rate_per_sec > 300_000

@@ -1,0 +1,251 @@
+"""Tests for the baseline RPC systems (FaRM 2-write, HERD, FaSST)."""
+
+import pytest
+
+from repro.baselines import (
+    FasstEndpoint,
+    HerdServer,
+    LiteRingReceiver,
+    SizeClassedReceiver,
+    connect_farm_pair,
+    geometric_classes,
+    memory_utilization,
+)
+from repro.cluster import Cluster
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(2)
+
+
+def test_farm_rpc_roundtrip(cluster):
+    sim = cluster.sim
+
+    def main():
+        a, b = yield from connect_farm_pair(cluster[0], cluster[1])
+
+        def server():
+            while True:
+                msg = yield from b.recv()
+                yield from b.send(b"re:" + msg)
+
+        sim.process(server())
+        reply = yield from a.rpc(b"q1")
+        assert reply == b"re:q1"
+        reply = yield from a.rpc(b"q2")
+        return reply
+
+    assert cluster.run_process(main()) == b"re:q2"
+
+
+def test_farm_messages_carry_real_bytes(cluster):
+    sim = cluster.sim
+
+    def main():
+        a, b = yield from connect_farm_pair(cluster[0], cluster[1])
+        payload = bytes(range(256)) * 4
+        yield from a.send(payload)
+        got = yield from b.recv()
+        return got == payload
+
+    assert cluster.run_process(main()) is True
+
+
+def test_farm_receiver_charges_poll_cpu(cluster):
+    sim = cluster.sim
+
+    def main():
+        a, b = yield from connect_farm_pair(cluster[0], cluster[1])
+
+        def server():
+            msg = yield from b.recv()
+            return msg
+
+        sproc = sim.process(server())
+        yield sim.timeout(100)  # receiver spins for 100 us
+        yield from a.send(b"late")
+        yield sproc
+
+    cluster.run_process(main())
+    assert cluster[1].cpu.busy_time["farm-poll"] >= 100
+
+
+def test_herd_rpc_roundtrip(cluster):
+    sim = cluster.sim
+
+    def main():
+        server = HerdServer(cluster[1], n_threads=2)
+        yield from server.build(lambda data: b"h:" + data)
+        client = yield from server.connect_client(cluster[0])
+        r1 = yield from client.call(b"one")
+        r2 = yield from client.call(b"two")
+        return r1, r2, server.requests_served
+
+    r1, r2, served = cluster.run_process(main())
+    assert (r1, r2) == (b"h:one", b"h:two")
+    assert served == 2
+
+
+def test_herd_multiple_clients_dispatch_to_threads(cluster):
+    sim = cluster.sim
+
+    def main():
+        server = HerdServer(cluster[1], n_threads=2)
+        yield from server.build(lambda data: data.upper())
+        clients = []
+        for _ in range(4):
+            client = yield from server.connect_client(cluster[0])
+            clients.append(client)
+        procs = [
+            sim.process(c.call(f"msg{i}".encode())) for i, c in enumerate(clients)
+        ]
+        results = yield sim.all_of(procs)
+        return sorted(results.values())
+
+    results = cluster.run_process(main())
+    assert results == [b"MSG0", b"MSG1", b"MSG2", b"MSG3"]
+
+
+def test_herd_dispatch_cost_scales_with_clients(cluster):
+    """More clients per thread -> longer slot scans (HERD's weakness)."""
+    sim = cluster.sim
+
+    def latency_with_clients(n_clients):
+        local = Cluster(2)
+
+        def main():
+            server = HerdServer(local[1], n_threads=1)
+            yield from server.build(lambda data: data)
+            clients = []
+            for _ in range(n_clients):
+                client = yield from server.connect_client(local[0])
+                clients.append(client)
+            # Warm up, then measure one call.
+            yield from clients[0].call(b"w")
+            start = local.sim.now
+            yield from clients[0].call(b"x")
+            return local.sim.now - start
+
+        return local.run_process(main())
+
+    assert latency_with_clients(32) > latency_with_clients(1)
+
+
+def test_fasst_rpc_roundtrip(cluster):
+    def main():
+        a = FasstEndpoint(cluster[0])
+        b = FasstEndpoint(cluster[1], handler=lambda d: b"f:" + d)
+        yield from a.build()
+        yield from b.build()
+        r = yield from a.call(b, b"hi")
+        return r
+
+    assert cluster.run_process(main()) == b"f:hi"
+
+
+def test_fasst_handler_serializes_in_master(cluster):
+    """Two concurrent calls with a slow handler: served back-to-back."""
+    sim = cluster.sim
+
+    def slow(data):
+        yield sim.timeout(50)
+        return data
+
+    def main():
+        a = FasstEndpoint(cluster[0])
+        b = FasstEndpoint(cluster[1], handler=slow)
+        yield from a.build()
+        yield from b.build()
+        start = sim.now
+        procs = [sim.process(a.call(b, b"1")), sim.process(a.call(b, b"2"))]
+        yield sim.all_of(procs)
+        return sim.now - start
+
+    elapsed = cluster.run_process(main())
+    # Inline handlers can't overlap: >= 2 x 50 us of handler time.
+    assert elapsed >= 100
+
+
+def test_fasst_mtu_limit(cluster):
+    def main():
+        a = FasstEndpoint(cluster[0])
+        b = FasstEndpoint(cluster[1], handler=lambda d: d)
+        yield from a.build()
+        yield from b.build()
+        # Up to two fragments are allowed; beyond that is rejected.
+        reply = yield from a.call(b, b"x" * 5000)
+        assert reply == b"x" * 5000
+        with pytest.raises(ValueError, match="MTU"):
+            yield from a.call(b, b"x" * 10000)
+
+    cluster.run_process(main())
+
+
+def test_fasst_concurrent_calls_matched_by_token(cluster):
+    sim = cluster.sim
+
+    def main():
+        a = FasstEndpoint(cluster[0])
+        b = FasstEndpoint(cluster[1], handler=lambda d: b"r" + d)
+        yield from a.build()
+        yield from b.build()
+        procs = [sim.process(a.call(b, bytes([i]))) for i in range(8)]
+        results = yield sim.all_of(procs)
+        return [results[i] for i in range(8)]
+
+    results = cluster.run_process(main())
+    assert results == [b"r" + bytes([i]) for i in range(8)]
+
+
+# ------------------------------------------------------- Fig 12 model --
+
+
+def test_size_classed_receiver_single_queue_wastes_space():
+    receiver = SizeClassedReceiver([4096], max_message=4096)
+    receiver.deliver(64)
+    receiver.deliver(64)
+    assert receiver.utilization() == pytest.approx(128 / 8192)
+
+
+def test_size_classed_receiver_picks_smallest_fit():
+    receiver = SizeClassedReceiver([64, 1024, 4096], max_message=4096)
+    assert receiver.deliver(10) == 64
+    assert receiver.deliver(64) == 64
+    assert receiver.deliver(65) == 1024
+    assert receiver.deliver(4000) == 4096
+
+
+def test_size_classed_receiver_rejects_oversize():
+    receiver = SizeClassedReceiver([512], max_message=512)
+    with pytest.raises(ValueError):
+        receiver.deliver(513)
+
+
+def test_more_queues_improve_utilization():
+    sizes = [32, 100, 700, 3000] * 100
+    utils = [memory_utilization(sizes, q, 4096) for q in (1, 2, 3, 4)]
+    assert utils == sorted(utils)
+    assert utils[0] < 0.5
+
+
+def test_lite_ring_utilization_near_one_for_big_messages():
+    ring = LiteRingReceiver(header_bytes=20)
+    for _ in range(100):
+        ring.deliver(4096)
+    assert ring.utilization() > 0.99
+
+
+def test_lite_ring_beats_send_recv_on_mixed_sizes():
+    sizes = [24, 150, 900, 4096] * 50
+    send_recv = memory_utilization(sizes, 4, 4096)
+    ring = LiteRingReceiver(header_bytes=20)
+    for size in sizes:
+        ring.deliver(size)
+    assert ring.utilization() > send_recv
+
+
+def test_geometric_classes_cover_max():
+    classes = geometric_classes(3, 4096)
+    assert max(classes) == 4096
+    assert len(classes) == 3

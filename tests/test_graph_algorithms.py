@@ -1,0 +1,124 @@
+"""Tests for the generalized vertex-program engine (SSSP, CC, PageRank
+convergence) on LITE-Graph."""
+
+import pytest
+
+from repro.apps.graph import LiteGraph, PartitionedGraph, pagerank_reference
+from repro.apps.graph.algorithms import (
+    INFINITY,
+    ComponentsProgram,
+    PageRankProgram,
+    SsspProgram,
+    components_reference,
+    sssp_reference,
+)
+from repro.cluster import Cluster
+from repro.core import lite_boot
+from repro.workloads import powerlaw_graph
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    edges = powerlaw_graph(240, 4, seed=21)
+    directed = PartitionedGraph(240, edges, 4)
+    symmetric = PartitionedGraph(
+        240, sorted(set(edges) | {(b, a) for a, b in edges}), 4
+    )
+    return directed, symmetric
+
+
+def _run(graph, program, until_converged=True, iterations=10):
+    cluster = Cluster(graph.n_partitions)
+    kernels = lite_boot(cluster)
+    engine = LiteGraph(kernels, graph, program=program)
+    if until_converged:
+        values, iters = cluster.run_process(engine.run_until_converged())
+        return values, iters, engine
+    values = cluster.run_process(engine.run(iterations))
+    return values, iterations, engine
+
+
+def test_sssp_matches_bfs_reference(graphs):
+    directed, _sym = graphs
+    source = 239  # a late vertex: its out-edges reach the old core
+    values, iters, _engine = _run(directed, SsspProgram(source))
+    reference = sssp_reference(directed, source)
+    assert values == reference
+    reachable = sum(1 for d in reference if d < INFINITY)
+    assert reachable > 3  # non-trivial reachability
+    # Needs at least eccentricity(source) rounds.
+    longest = max(d for d in reference if d < INFINITY)
+    assert iters >= longest
+
+
+def test_sssp_source_distance_zero(graphs):
+    directed, _sym = graphs
+    values, _iters, _engine = _run(directed, SsspProgram(100))
+    assert values[100] == 0.0
+
+
+def test_sssp_unreachable_stay_infinite(graphs):
+    directed, _sym = graphs
+    # Vertex 0 has no out-edges in preferential attachment: from it,
+    # almost everything is unreachable.
+    values, _iters, _engine = _run(directed, SsspProgram(0))
+    reference = sssp_reference(directed, 0)
+    assert values == reference
+    assert values.count(INFINITY) == reference.count(INFINITY) > 0
+
+
+def test_components_single_component_on_symmetrized_graph(graphs):
+    _directed, symmetric = graphs
+    values, _iters, _engine = _run(symmetric, ComponentsProgram())
+    assert values == components_reference(symmetric)
+    # Preferential attachment is connected once symmetrized.
+    assert set(values) == {0.0}
+
+
+def test_components_finds_separate_islands():
+    # Two disjoint cliques: {0..4} and {5..9}.
+    edges = []
+    for base in (0, 5):
+        for a in range(base, base + 5):
+            for b in range(base, base + 5):
+                if a != b:
+                    edges.append((a, b))
+    graph = PartitionedGraph(10, edges, 2)
+    values, iters, _engine = _run(graph, ComponentsProgram())
+    assert values[:5] == [0.0] * 5
+    assert values[5:] == [5.0] * 5
+
+
+def test_pagerank_program_equals_legacy_run(graphs):
+    directed, _sym = graphs
+    values, _iters, _engine = _run(
+        directed, PageRankProgram(), until_converged=False, iterations=5
+    )
+    assert values == pagerank_reference(directed, 5)
+
+
+def test_pagerank_converges_with_epsilon():
+    edges = powerlaw_graph(120, 4, seed=22)
+    graph = PartitionedGraph(120, edges, 3)
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    engine = LiteGraph(kernels, graph, program=PageRankProgram())
+    values, iters = cluster.run_process(
+        engine.run_until_converged(epsilon=1e-10, max_iterations=200)
+    )
+    assert iters < 200  # actually converged
+    # One more reference iteration changes nothing beyond epsilon.
+    reference = pagerank_reference(graph, iters)
+    assert max(abs(a - b) for a, b in zip(values, reference)) < 1e-9
+
+
+def test_convergence_respects_max_iterations():
+    edges = powerlaw_graph(100, 4, seed=23)
+    graph = PartitionedGraph(100, edges, 2)
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    engine = LiteGraph(kernels, graph, program=PageRankProgram())
+    _values, iters = cluster.run_process(
+        engine.run_until_converged(epsilon=0.0, max_iterations=3)
+    )
+    assert iters == 3

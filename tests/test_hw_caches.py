@@ -1,0 +1,117 @@
+"""Unit + property tests for the RNIC SRAM cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import LruCache
+
+
+def test_miss_then_hit():
+    cache = LruCache(4)
+    assert cache.access("a") is False
+    assert cache.access("a") is True
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = LruCache(2)
+    cache.access("a")
+    cache.access("b")
+    cache.access("a")  # refresh a; b is now LRU
+    cache.access("c")  # evicts b
+    assert cache.contains("a")
+    assert not cache.contains("b")
+    assert cache.contains("c")
+    assert cache.stats.evictions == 1
+
+
+def test_capacity_never_exceeded():
+    cache = LruCache(3)
+    for key in range(100):
+        cache.access(key)
+    assert len(cache) == 3
+
+
+def test_invalidate():
+    cache = LruCache(4)
+    cache.access("a")
+    assert cache.invalidate("a") is True
+    assert cache.invalidate("a") is False
+    assert not cache.contains("a")
+
+
+def test_invalidate_where():
+    cache = LruCache(8)
+    for key in range(6):
+        cache.access(key)
+    removed = cache.invalidate_where(lambda k: k % 2 == 0)
+    assert removed == 3
+    assert len(cache) == 3
+
+
+def test_hit_rate_on_working_set_within_capacity():
+    cache = LruCache(16)
+    for _round in range(10):
+        for key in range(16):
+            cache.access(key)
+    # First round misses, everything after hits.
+    assert cache.stats.hits == 16 * 9
+    assert cache.stats.misses == 16
+
+
+def test_thrashing_working_set_beyond_capacity():
+    """Sequential scan over 2x capacity with LRU: zero hits (classic)."""
+    cache = LruCache(8)
+    for _round in range(5):
+        for key in range(16):
+            cache.access(key)
+    assert cache.stats.hits == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        LruCache(0)
+
+
+def test_contains_does_not_touch_stats():
+    cache = LruCache(2)
+    cache.access("a")
+    hits, misses = cache.stats.hits, cache.stats.misses
+    cache.contains("a")
+    cache.contains("zzz")
+    assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+
+
+def test_stats_reset():
+    cache = LruCache(2)
+    cache.access("a")
+    cache.access("a")
+    cache.stats.reset()
+    assert cache.stats.accesses == 0
+    assert cache.stats.hit_rate == 1.0
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=32),
+    keys=st.lists(st.integers(min_value=0, max_value=64), max_size=300),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_size_bounded_and_counters_consistent(capacity, keys):
+    cache = LruCache(capacity)
+    for key in keys:
+        cache.access(key)
+    assert len(cache) <= capacity
+    assert cache.stats.hits + cache.stats.misses == len(keys)
+    assert cache.stats.installs == cache.stats.misses
+    assert cache.stats.evictions == max(0, cache.stats.installs - len(cache))
+
+
+@given(keys=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_property_recently_accessed_key_is_resident(keys):
+    cache = LruCache(4)
+    for key in keys:
+        cache.access(key)
+    assert cache.contains(keys[-1])

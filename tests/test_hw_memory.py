@@ -1,0 +1,172 @@
+"""Unit + property tests for the host physical-memory allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import HostMemory, OutOfMemoryError
+
+
+def make_mem(capacity=1 << 20):
+    return HostMemory(node_id=0, capacity=capacity)
+
+
+def test_alloc_and_data_roundtrip():
+    mem = make_mem()
+    region = mem.alloc(4096)
+    region.write(100, b"hello")
+    assert region.read(100, 5) == b"hello"
+    assert region.read(0, 4) == b"\x00\x00\x00\x00"
+
+
+def test_alloc_distinct_extents():
+    mem = make_mem()
+    a = mem.alloc(1000)
+    b = mem.alloc(1000)
+    assert a.addr + a.size <= b.addr or b.addr + b.size <= a.addr
+
+
+def test_out_of_memory():
+    mem = make_mem(capacity=1024)
+    mem.alloc(1024)
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc(1)
+
+
+def test_free_and_reuse():
+    mem = make_mem(capacity=1024)
+    region = mem.alloc(1024)
+    mem.free(region)
+    again = mem.alloc(1024)
+    assert again.addr == region.addr
+
+
+def test_double_free_rejected():
+    mem = make_mem()
+    region = mem.alloc(64)
+    mem.free(region)
+    with pytest.raises(ValueError):
+        mem.free(region)
+
+
+def test_access_after_free_rejected():
+    mem = make_mem()
+    region = mem.alloc(64)
+    mem.free(region)
+    with pytest.raises(ValueError):
+        region.read(0, 1)
+    with pytest.raises(ValueError):
+        region.write(0, b"x")
+
+
+def test_coalescing_restores_full_extent():
+    mem = make_mem(capacity=3000)
+    a = mem.alloc(1000)
+    b = mem.alloc(1000)
+    c = mem.alloc(1000)
+    mem.free(a)
+    mem.free(c)
+    mem.free(b)  # middle free must merge all three
+    assert mem.fragment_count == 1
+    assert mem.largest_free == 3000
+
+
+def test_external_fragmentation_blocks_large_alloc():
+    """Free space exists but no contiguous extent — the §4.1 problem."""
+    mem = make_mem(capacity=4000)
+    keep = []
+    holes = []
+    for index in range(4):
+        region = mem.alloc(500)
+        region2 = mem.alloc(500)
+        holes.append(region)
+        keep.append(region2)
+    for region in holes:
+        mem.free(region)
+    assert mem.free_bytes == 2000
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc(1500)
+
+
+def test_resolve_physical_address():
+    mem = make_mem()
+    region = mem.alloc(4096)
+    region.write(10, b"abc")
+    found, offset = mem.resolve(region.addr + 10, 3)
+    assert found is region
+    assert offset == 10
+
+
+def test_resolve_unbacked_address_raises():
+    mem = make_mem()
+    mem.alloc(4096)
+    with pytest.raises(ValueError):
+        mem.resolve(1 << 19, 8)
+
+
+def test_resolve_after_free_raises():
+    mem = make_mem()
+    region = mem.alloc(4096)
+    addr = region.addr
+    mem.free(region)
+    with pytest.raises(ValueError):
+        mem.resolve(addr, 1)
+
+
+def test_page_ids_span():
+    mem = make_mem()
+    region = mem.alloc(3 * 4096)
+    pages = region.page_ids(4096, offset=0, nbytes=3 * 4096)
+    assert len(pages) == 3
+    # A 2-byte access crossing a page boundary touches 2 pages.
+    pages = region.page_ids(4096, offset=4095, nbytes=2)
+    assert len(pages) == 2
+
+
+def test_read_write_bounds():
+    mem = make_mem()
+    region = mem.alloc(64)
+    with pytest.raises(ValueError):
+        region.write(60, b"hello")
+    with pytest.raises(ValueError):
+        region.read(-1, 4)
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=2048), min_size=1, max_size=40),
+    free_mask=st.lists(st.booleans(), min_size=40, max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_allocator_accounting(sizes, free_mask):
+    mem = make_mem(capacity=1 << 17)
+    live = []
+    for size, do_free in zip(sizes, free_mask):
+        try:
+            region = mem.alloc(size)
+        except OutOfMemoryError:
+            continue
+        if do_free:
+            mem.free(region)
+        else:
+            live.append(region)
+    assert mem.allocated_bytes == sum(r.size for r in live)
+    assert mem.free_bytes == mem.capacity - mem.allocated_bytes
+    # Every live region resolvable, non-overlapping.
+    spans = sorted((r.addr, r.addr + r.size) for r in live)
+    for (alo, ahi), (blo, bhi) in zip(spans, spans[1:]):
+        assert ahi <= blo
+    for region in live:
+        found, offset = mem.resolve(region.addr, region.size)
+        assert found is region and offset == 0
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_free_always_coalesces_adjacent(data):
+    mem = make_mem(capacity=1 << 16)
+    regions = [mem.alloc(1024) for _ in range(16)]
+    order = data.draw(st.permutations(range(16)))
+    for index in order:
+        mem.free(regions[index])
+    assert mem.fragment_count == 1
+    assert mem.largest_free == mem.capacity

@@ -1,0 +1,234 @@
+"""Tests for internal components: RPC rings, control plane, cluster
+manager, CPU sleep waits, TCP backpressure."""
+
+import struct
+
+import pytest
+
+from repro.cluster import Cluster, ClusterManager
+from repro.core import LiteContext, lite_boot
+from repro.core.rpc import _ClientRing, _ServerRing
+from repro.hw import DEFAULT_PARAMS, CpuSet
+from repro.hw.memory import HostMemory
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------- rings --
+
+
+def _head_region():
+    return HostMemory(0, capacity=1 << 16).alloc(8)
+
+
+def test_client_ring_free_space_tracks_head():
+    head = _head_region()
+    ring = _ClientRing(server_id=2, ring_addr=0x1000, size=4096,
+                       head_region=head)
+    assert ring.free_space() == 4096
+    ring.tail_virtual = 1000
+    assert ring.free_space() == 3096
+    # Server advances the head by writing the 8-byte slot.
+    head.write(0, struct.pack("<Q", 600))
+    assert ring.free_space() == 3696
+
+
+def test_server_ring_read_wrapped():
+    memory = HostMemory(0, capacity=1 << 16)
+    region = memory.alloc(64)
+    state = _ServerRing(client_id=1, region=region, client_head_slot_addr=0)
+    region.write(60, b"abcd")
+    region.write(0, b"efgh")
+    assert state.read_wrapped(60, 8) == b"abcdefgh"
+    assert state.read_wrapped(60 + 64, 4) == b"abcd"  # virtual wrap
+
+
+# ---------------------------------------------------- cluster manager --
+
+
+def test_manager_assigns_stable_ids():
+    cluster = Cluster(3)
+    manager = cluster.manager
+    node = cluster[0]
+    lite_id = manager.join(node)
+    assert manager.join(node) == lite_id  # idempotent
+    assert manager.lookup(lite_id) is node
+
+
+def test_manager_lookup_unknown_raises():
+    manager = ClusterManager()
+    with pytest.raises(KeyError):
+        manager.lookup(42)
+
+
+def test_manager_name_directory():
+    manager = ClusterManager()
+    manager.register_name("x", 1)
+    assert manager.lookup_name("x") == 1
+    with pytest.raises(KeyError):
+        manager.register_name("x", 2)
+    manager.drop_name("x")
+    with pytest.raises(KeyError):
+        manager.lookup_name("x")
+    manager.drop_name("x")  # idempotent
+
+
+def test_cluster_requires_a_node():
+    with pytest.raises(ValueError):
+        Cluster(0)
+
+
+# ------------------------------------------------------ CPU sleep wait --
+
+
+def test_sleep_wait_charges_only_wakeup():
+    sim = Simulator()
+    cpu = CpuSet(sim, DEFAULT_PARAMS)
+    gate = sim.event()
+
+    def firer():
+        yield sim.timeout(500)
+        gate.succeed("v")
+
+    def waiter():
+        value = yield from cpu.sleep_wait(gate, tag="sleeper")
+        return value
+
+    sim.process(firer())
+    proc = sim.process(waiter())
+    assert sim.run(stop=proc) == "v"
+    assert cpu.busy_time["sleeper"] == pytest.approx(
+        DEFAULT_PARAMS.thread_wakeup_us
+    )
+
+
+def test_execute_rejects_negative_duration():
+    sim = Simulator()
+    cpu = CpuSet(sim, DEFAULT_PARAMS)
+    with pytest.raises(ValueError):
+        next(iter(cpu.execute(-1.0)))
+
+
+# ------------------------------------------------------ TCP backpressure --
+
+
+def test_tcp_send_blocks_on_full_socket_buffer():
+    cluster = Cluster(2)
+    sim = cluster.sim
+    listener = cluster[1].tcp.listen(8800)
+    accepted = {}
+
+    def server():
+        conn = yield from listener.accept()
+        accepted["conn"] = conn
+        yield sim.timeout(10_000)  # never reads; peer keeps delivering
+
+    def main():
+        sim.process(server())
+        yield sim.timeout(1)
+        conn = yield from cluster[0].tcp.connect(1, 8800)
+        start = sim.now
+        # 4 MB into a 256 KB socket buffer: send(2) must block until
+        # enough bytes are acked, far longer than the syscall cost.
+        yield from conn.send(b"z" * (4 << 20))
+        return sim.now - start
+
+    elapsed = cluster.run_process(main())
+    wire_floor = (4 << 20) / cluster.params.tcp_bandwidth_bytes_per_us * 0.8
+    assert elapsed > wire_floor
+
+
+def test_tcp_empty_send_is_harmless():
+    cluster = Cluster(2)
+    sim = cluster.sim
+    listener = cluster[1].tcp.listen(8801)
+
+    def server():
+        conn = yield from listener.accept()
+        data = yield from conn.recv_msg()
+        return data
+
+    def main():
+        sproc = sim.process(server())
+        yield sim.timeout(1)
+        conn = yield from cluster[0].tcp.connect(1, 8801)
+        yield from conn.send(b"")
+        yield from conn.send_msg(b"real")
+        got = yield sproc
+        return got
+
+    assert cluster.run_process(main()) == b"real"
+
+
+# --------------------------------------------- LITE control internals --
+
+
+def test_ctrl_request_error_propagates_as_lite_error():
+    from repro.core import LiteError
+
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+
+    def proc():
+        with pytest.raises(LiteError, match="unknown control type"):
+            yield from kernels[0].ctrl_request(2, {"type": "bogus"})
+
+    cluster.run_process(proc())
+
+
+def test_user_messages_queue_in_order():
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    sender = LiteContext(kernels[0], "s")
+    receiver = LiteContext(kernels[1], "r")
+    sim = cluster.sim
+    got = []
+
+    def recv_loop():
+        for _ in range(3):
+            _src, data = yield from receiver.lt_recv_msg()
+            got.append(data)
+
+    def proc():
+        sim.process(recv_loop())
+        yield sim.timeout(1)
+        for index in range(3):
+            yield from sender.lt_send(2, f"m{index}".encode())
+        yield sim.timeout(50)
+
+    cluster.run_process(proc())
+    assert got == [b"m0", b"m1", b"m2"]
+
+
+def test_poller_charges_cpu_for_busy_polling():
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    ctx = LiteContext(kernels[0], "c")
+    sim = cluster.sim
+    kernels[1].node.cpu.reset_accounting()
+
+    def proc():
+        yield sim.timeout(200)  # idle period: poller spins
+        lh = yield from ctx.lt_malloc(64, nodes=2)  # wakes the peer's poller
+        yield from ctx.lt_write(lh, 0, b"x")
+
+    cluster.run_process(proc())
+    # The remote poller burned roughly the whole idle window.
+    assert kernels[1].node.cpu.busy_time["lite-poll"] > 150
+
+
+def test_onesided_op_counters():
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    ctx = LiteContext(kernels[0], "c")
+
+    def proc():
+        lh = yield from ctx.lt_malloc(4096, nodes=2)
+        yield from ctx.lt_write(lh, 0, b"a")
+        yield from ctx.lt_read(lh, 0, 1)
+        yield from ctx.lt_fetch_add(lh, 8, 1)
+
+    cluster.run_process(proc())
+    engine = kernels[0].onesided
+    assert engine.writes >= 1
+    assert engine.reads >= 1
+    assert engine.atomics >= 1

@@ -1,0 +1,134 @@
+"""Tests for LT_move: master-driven LMR migration (§4.1)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import LiteContext, LiteError, Permission, lite_boot
+from repro.hw import SimParams
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster(4)
+    kernels = lite_boot(cluster)
+    return cluster, kernels
+
+
+def test_move_preserves_contents(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "m")
+    payload = bytes(range(256)) * 16
+
+    def proc():
+        lh = yield from ctx.lt_malloc(8192, name="mv1", nodes=2)
+        yield from ctx.lt_write(lh, 100, payload)
+        yield from ctx.lt_move(lh, 3)
+        assert {c.node_id for c in lh.mapping.chunks} == {3}
+        data = yield from ctx.lt_read(lh, 100, len(payload))
+        return data
+
+    assert cluster.run_process(proc()) == payload
+
+
+def test_move_retargets_remote_mappings_transparently(env):
+    cluster, kernels = env
+    alice = LiteContext(kernels[0], "alice")
+    bob = LiteContext(kernels[1], "bob")
+
+    def proc():
+        lh = yield from alice.lt_malloc(
+            4096, name="mv2", nodes=3,
+            default_perm=Permission.READ | Permission.WRITE,
+        )
+        yield from alice.lt_write(lh, 0, b"before-move")
+        bob_lh = yield from bob.lt_map("mv2")
+        yield from alice.lt_move(lh, 4)
+        # Bob's existing lh keeps working without remapping.
+        data = yield from bob.lt_read(bob_lh, 0, 11)
+        assert data == b"before-move"
+        assert {c.node_id for c in bob_lh.mapping.chunks} == {4}
+        yield from bob.lt_write(bob_lh, 0, b"after-move!")
+        back = yield from alice.lt_read(lh, 0, 11)
+        return back
+
+    assert cluster.run_process(proc()) == b"after-move!"
+
+
+def test_move_frees_old_chunks(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "m")
+    old_node = kernels[1].node
+    before = old_node.memory.allocated_bytes
+
+    def proc():
+        lh = yield from ctx.lt_malloc(1 << 20, name="mv3", nodes=2)
+        during = old_node.memory.allocated_bytes
+        assert during >= before + (1 << 20)
+        yield from ctx.lt_move(lh, 3)
+        yield cluster.sim.timeout(50)
+
+    cluster.run_process(proc())
+    assert old_node.memory.allocated_bytes == before
+
+
+def test_move_requires_master(env):
+    cluster, kernels = env
+    alice = LiteContext(kernels[0], "alice")
+    bob = LiteContext(kernels[1], "bob")
+
+    def proc():
+        yield from alice.lt_malloc(
+            64, name="mv4", nodes=2,
+            default_perm=Permission.READ | Permission.WRITE,
+        )
+        bob_lh = yield from bob.lt_map("mv4")
+        with pytest.raises(PermissionError):
+            yield from bob.lt_move(bob_lh, 3)
+
+    cluster.run_process(proc())
+
+
+def test_move_can_spread_across_nodes(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "m")
+
+    def proc():
+        lh = yield from ctx.lt_malloc(10_000, name="mv5", nodes=2)
+        yield from ctx.lt_write(lh, 0, b"spread-me" * 100)
+        yield from ctx.lt_move(lh, [3, 4])
+        assert {c.node_id for c in lh.mapping.chunks} == {3, 4}
+        data = yield from ctx.lt_read(lh, 0, 900)
+        return data
+
+    assert cluster.run_process(proc()) == b"spread-me" * 100
+
+
+def test_move_large_chunked_lmr():
+    params = SimParams(lite_chunk_bytes=1 << 16)
+    cluster = Cluster(3, params=params)
+    kernels = lite_boot(cluster)
+    ctx = LiteContext(kernels[0], "m")
+
+    def proc():
+        lh = yield from ctx.lt_malloc(5 * (1 << 16), name="mv6", nodes=2)
+        assert len(lh.mapping.chunks) == 5
+        pattern = bytes(range(200)) * ((5 << 16) // 200 + 1)
+        pattern = pattern[: 5 << 16]
+        yield from ctx.lt_write(lh, 0, pattern)
+        yield from ctx.lt_move(lh, 3)
+        data = yield from ctx.lt_read(lh, 0, 5 << 16)
+        return data == pattern
+
+    assert cluster.run_process(proc()) is True
+
+
+def test_move_to_empty_destination_list_rejected(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "m")
+
+    def proc():
+        lh = yield from ctx.lt_malloc(64, name="mv7")
+        with pytest.raises(ValueError):
+            yield from ctx.lt_move(lh, [])
+
+    cluster.run_process(proc())

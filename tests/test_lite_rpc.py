@@ -1,0 +1,324 @@
+"""Tests for LITE RPC (§5): rings, IMM encoding, replies, failures."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import LiteContext, RpcError, RpcTimeoutError, lite_boot, rpc_server_loop
+from repro.core.protocol import (
+    IMM_KIND_REPLY,
+    IMM_KIND_REQUEST,
+    pack_request_imm,
+    unpack_imm,
+)
+from repro.core.rpc import RpcEngine
+from repro.hw import SimParams
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    client = LiteContext(kernels[0], "client")
+    server = LiteContext(kernels[1], "server")
+    return cluster, client, server
+
+
+def run(cluster, gen):
+    return cluster.sim.run_process(gen)
+
+
+def echo_server(cluster, server, func_id=1):
+    cluster.sim.process(rpc_server_loop(server, func_id, lambda data: b"echo:" + data))
+
+
+def test_basic_rpc_roundtrip(env):
+    cluster, client, server = env
+    echo_server(cluster, server)
+
+    def proc():
+        yield cluster.sim.timeout(1)
+        reply = yield from client.lt_rpc(2, 1, b"hello", max_reply=64)
+        return reply
+
+    assert run(cluster, proc()) == b"echo:hello"
+
+
+def test_rpc_payload_bytes_are_exact(env):
+    cluster, client, server = env
+    cluster.sim.process(
+        rpc_server_loop(server, 1, lambda data: bytes(reversed(data)))
+    )
+
+    def proc():
+        yield cluster.sim.timeout(1)
+        payload = bytes(range(200))
+        reply = yield from client.lt_rpc(2, 1, payload, max_reply=256)
+        return reply
+
+    assert run(cluster, proc()) == bytes(reversed(bytes(range(200))))
+
+
+def test_many_sequential_rpcs_reuse_ring(env):
+    cluster, client, server = env
+    echo_server(cluster, server)
+
+    def proc():
+        yield cluster.sim.timeout(1)
+        for index in range(50):
+            reply = yield from client.lt_rpc(
+                2, 1, f"m{index}".encode(), max_reply=64
+            )
+            assert reply == f"echo:m{index}".encode()
+        engine = client.kernel.rpc
+        assert len(engine.client_rings) == 1
+        return engine.calls_sent
+
+    assert run(cluster, proc()) == 50
+
+
+def test_concurrent_rpcs_from_many_threads(env):
+    cluster, client, server = env
+    echo_server(cluster, server)
+    sim = cluster.sim
+    results = []
+
+    def worker(index):
+        reply = yield from client.lt_rpc(2, 1, f"w{index}".encode(), max_reply=64)
+        results.append(reply)
+
+    def proc():
+        yield sim.timeout(1)
+        procs = [sim.process(worker(i)) for i in range(16)]
+        yield sim.all_of(procs)
+
+    run(cluster, proc())
+    assert sorted(results) == sorted(f"echo:w{i}".encode() for i in range(16))
+
+
+def test_rpc_ring_wraps_correctly():
+    """Force tiny rings so requests wrap the physical ring end."""
+    params = SimParams(lite_rpc_ring_bytes=1 << 12)  # 4 KB ring
+    cluster = Cluster(2, params=params)
+    kernels = lite_boot(cluster)
+    client = LiteContext(kernels[0], "c")
+    server = LiteContext(kernels[1], "s")
+    cluster.sim.process(rpc_server_loop(server, 1, lambda d: d))
+
+    def proc():
+        yield cluster.sim.timeout(1)
+        for index in range(40):
+            payload = bytes([index]) * 300
+            reply = yield from client.lt_rpc(2, 1, payload, max_reply=512)
+            assert reply == payload
+        return True
+
+    assert cluster.sim.run_process(proc()) is True
+
+
+def test_rpc_flow_control_blocks_until_server_drains():
+    """A ring smaller than the burst forces head-pointer flow control."""
+    params = SimParams(lite_rpc_ring_bytes=1 << 12)
+    cluster = Cluster(2, params=params)
+    kernels = lite_boot(cluster)
+    client = LiteContext(kernels[0], "c")
+    server = LiteContext(kernels[1], "s")
+    sim = cluster.sim
+
+    def slow_handler(data):
+        yield sim.timeout(30)
+        return data
+
+    sim.process(rpc_server_loop(server, 1, slow_handler))
+    replies = []
+
+    def worker(index):
+        reply = yield from client.lt_rpc(2, 1, bytes([index]) * 900, max_reply=1024)
+        replies.append(reply[0])
+
+    def proc():
+        yield sim.timeout(1)
+        procs = [sim.process(worker(i)) for i in range(12)]
+        yield sim.all_of(procs)
+
+    cluster.sim.run_process(proc())
+    assert sorted(replies) == list(range(12))
+
+
+def test_unknown_function_raises(env):
+    cluster, client, _server = env
+
+    def proc():
+        yield cluster.sim.timeout(1)
+        with pytest.raises(RpcError, match="no RPC function"):
+            yield from client.lt_rpc(2, 42, b"x", max_reply=64)
+
+    run(cluster, proc())
+
+
+def test_reply_too_big_raises(env):
+    cluster, client, server = env
+    cluster.sim.process(rpc_server_loop(server, 1, lambda d: b"y" * 1000))
+
+    def proc():
+        yield cluster.sim.timeout(1)
+        with pytest.raises(RpcError, match="max_reply"):
+            yield from client.lt_rpc(2, 1, b"x", max_reply=100)
+
+    run(cluster, proc())
+
+
+def test_rpc_timeout_fires_when_server_never_replies(env):
+    cluster, client, server = env
+    server.lt_reg_rpc(7)  # registered but nobody serves it
+
+    def proc():
+        yield cluster.sim.timeout(1)
+        with pytest.raises(RpcTimeoutError):
+            yield from client.lt_rpc(2, 7, b"x", max_reply=64, timeout=500.0)
+
+    run(cluster, proc())
+
+
+def test_double_reply_rejected(env):
+    cluster, client, server = env
+    server.lt_reg_rpc(1)
+
+    def server_proc():
+        call = yield from server.lt_recv_rpc(1)
+        yield from server.lt_reply_rpc(call, b"once")
+        with pytest.raises(RpcError, match="already replied"):
+            yield from server.lt_reply_rpc(call, b"twice")
+
+    def proc():
+        sproc = cluster.sim.process(server_proc())
+        yield cluster.sim.timeout(1)
+        reply = yield from client.lt_rpc(2, 1, b"x", max_reply=64)
+        yield sproc
+        return reply
+
+    assert run(cluster, proc()) == b"once"
+
+
+def test_kernel_level_rpc_is_faster_than_user_level(env):
+    cluster, client, server = env
+    kernels = client.kernel, server.kernel
+    kl_client = LiteContext(kernels[0], "kl", kernel_level=True)
+    echo_server(cluster, server)
+    sim = cluster.sim
+
+    def measure(ctx):
+        # Warm up, then measure.
+        yield from ctx.lt_rpc(2, 1, b"warm", max_reply=64)
+        start = sim.now
+        for _ in range(5):
+            yield from ctx.lt_rpc(2, 1, b"ping", max_reply=64)
+        return (sim.now - start) / 5
+
+    def proc():
+        yield sim.timeout(1)
+        user_lat = yield from measure(client)
+        kl_lat = yield from measure(kl_client)
+        return user_lat, kl_lat
+
+    user_lat, kl_lat = run(cluster, proc())
+    assert kl_lat < user_lat
+    # The crossing overhead is fractions of a microsecond (§5.2).
+    assert user_lat - kl_lat < 1.0
+
+
+def test_multicast_rpc():
+    cluster = Cluster(4)
+    kernels = lite_boot(cluster)
+    client = LiteContext(kernels[0], "c")
+    sim = cluster.sim
+    for index in (1, 2, 3):
+        server = LiteContext(kernels[index], f"s{index}")
+        sim.process(
+            rpc_server_loop(server, 9, lambda d, i=index: f"n{i}:".encode() + d)
+        )
+
+    def proc():
+        yield sim.timeout(1)
+        replies = yield from client.lt_multicast_rpc([2, 3, 4], 9, b"all")
+        return replies
+
+    replies = cluster.sim.run_process(proc())
+    assert replies == [b"n1:all", b"n2:all", b"n3:all"]
+
+
+def test_bidirectional_rpc(env):
+    """Both nodes act as client and server simultaneously."""
+    cluster, a_ctx, b_ctx = env
+    sim = cluster.sim
+    cluster.sim.process(rpc_server_loop(b_ctx, 1, lambda d: b"B" + d))
+    cluster.sim.process(rpc_server_loop(a_ctx, 2, lambda d: b"A" + d))
+
+    def proc():
+        yield sim.timeout(1)
+        r1 = yield from a_ctx.lt_rpc(2, 1, b"x", max_reply=16)
+        r2 = yield from b_ctx.lt_rpc(1, 2, b"y", max_reply=16)
+        return r1, r2
+
+    assert run(cluster, proc()) == (b"Bx", b"Ay")
+
+
+def test_lt_send_and_recv_msg(env):
+    cluster, a_ctx, b_ctx = env
+    sim = cluster.sim
+    got = []
+
+    def receiver():
+        src, data = yield from b_ctx.lt_recv_msg()
+        got.append((src, data))
+
+    def proc():
+        sim.process(receiver())
+        yield sim.timeout(1)
+        yield from a_ctx.lt_send(2, b"one-way")
+        yield sim.timeout(20)
+
+    run(cluster, proc())
+    assert got == [(1, b"one-way")]
+
+
+# ---------------------------------------------------------------- IMM --
+
+
+def test_imm_roundtrip():
+    imm = pack_request_imm(17, 123456)
+    kind, func, offset = unpack_imm(imm)
+    assert (kind, func, offset) == (IMM_KIND_REQUEST, 17, 123456)
+
+
+def test_imm_bounds():
+    with pytest.raises(ValueError):
+        pack_request_imm(64, 0)
+    with pytest.raises(ValueError):
+        pack_request_imm(1, 1 << 24)
+
+
+def test_imm_reply_kind():
+    from repro.core.protocol import pack_reply_imm
+
+    imm = pack_reply_imm((1 << 30) - 1)
+    kind, _func, token = unpack_imm(imm)
+    assert kind == IMM_KIND_REPLY
+    assert token == (1 << 30) - 1
+
+
+def test_rpc_memory_is_reclaimed(env):
+    """Reply slots are freed after each call: no allocator leak."""
+    cluster, client, server = env
+    echo_server(cluster, server)
+    memory = client.kernel.node.memory
+
+    def proc():
+        yield cluster.sim.timeout(1)
+        yield from client.lt_rpc(2, 1, b"x", max_reply=128)
+        before = memory.allocated_bytes
+        for _ in range(20):
+            yield from client.lt_rpc(2, 1, b"x", max_reply=128)
+        return before, memory.allocated_bytes
+
+    before, after = run(cluster, proc())
+    assert after == before

@@ -1,0 +1,224 @@
+"""Tests for LITE synchronization: locks, barriers, atomics (§7.2)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import LiteContext, LiteError, lite_boot
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    return cluster, kernels
+
+
+def run(cluster, gen):
+    return cluster.sim.run_process(gen)
+
+
+def test_uncontended_lock_is_fast(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "u")
+    sim = cluster.sim
+
+    def proc():
+        lock = yield from ctx.lt_create_lock("L", owner_id=2)
+        yield from ctx.lt_lock(lock)  # warm caches
+        yield from ctx.lt_unlock(lock)
+        start = sim.now
+        yield from ctx.lt_lock(lock)
+        elapsed = sim.now - start
+        yield from ctx.lt_unlock(lock)
+        return elapsed
+
+    elapsed = run(cluster, proc())
+    # Paper: ~2.2 us for an uncontended acquire (one fetch-add RTT).
+    assert 1.0 < elapsed < 4.5
+
+
+def test_lock_mutual_exclusion(env):
+    cluster, kernels = env
+    sim = cluster.sim
+    contexts = [LiteContext(kernels[i], f"u{i}") for i in range(3)]
+    in_section = [0]
+    max_seen = [0]
+    order = []
+
+    def worker(ctx, label, lock_name):
+        lock = yield from ctx.lt_open_lock(lock_name)
+        for _round in range(3):
+            yield from ctx.lt_lock(lock)
+            in_section[0] += 1
+            max_seen[0] = max(max_seen[0], in_section[0])
+            order.append(label)
+            yield sim.timeout(5)
+            in_section[0] -= 1
+            yield from ctx.lt_unlock(lock)
+
+    def proc():
+        owner = LiteContext(kernels[0], "owner")
+        yield from owner.lt_create_lock("mx", owner_id=1)
+        procs = [
+            sim.process(worker(ctx, index, "mx"))
+            for index, ctx in enumerate(contexts)
+        ]
+        yield sim.all_of(procs)
+
+    run(cluster, proc())
+    assert max_seen[0] == 1
+    assert len(order) == 9
+
+
+def test_lock_fifo_wakeup(env):
+    cluster, kernels = env
+    sim = cluster.sim
+    ctx = LiteContext(kernels[0], "u")
+    acquired = []
+
+    def worker(lock, label, delay):
+        yield sim.timeout(delay)
+        yield from ctx.lt_lock(lock)
+        acquired.append(label)
+        yield sim.timeout(20)
+        yield from ctx.lt_unlock(lock)
+
+    def proc():
+        lock = yield from ctx.lt_create_lock("fifo", owner_id=2)
+        procs = [
+            sim.process(worker(lock, "a", 0)),
+            sim.process(worker(lock, "b", 5)),
+            sim.process(worker(lock, "c", 10)),
+        ]
+        yield sim.all_of(procs)
+
+    run(cluster, proc())
+    assert acquired == ["a", "b", "c"]
+
+
+def test_unlock_unheld_raises(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "u")
+
+    def proc():
+        lock = yield from ctx.lt_create_lock("x", owner_id=1)
+        with pytest.raises(LiteError, match="unheld"):
+            yield from ctx.lt_unlock(lock)
+
+    run(cluster, proc())
+
+
+def test_barrier_releases_all_at_once(env):
+    cluster, kernels = env
+    sim = cluster.sim
+    release_times = []
+
+    def worker(ctx, delay):
+        yield sim.timeout(delay)
+        yield from ctx.lt_barrier("phase1", 3)
+        release_times.append(sim.now)
+
+    def proc():
+        procs = [
+            sim.process(worker(LiteContext(kernels[i], f"u{i}"), delay))
+            for i, delay in enumerate((0, 40, 80))
+        ]
+        yield sim.all_of(procs)
+
+    run(cluster, proc())
+    assert len(release_times) == 3
+    # Nobody is released before the last arrival at t=80.
+    assert min(release_times) >= 80
+    assert max(release_times) - min(release_times) < 20
+
+
+def test_barrier_reusable(env):
+    cluster, kernels = env
+    sim = cluster.sim
+    phases = []
+
+    def worker(ctx, label):
+        for phase in range(3):
+            yield from ctx.lt_barrier(f"p{phase}", 2)
+            phases.append((phase, label))
+
+    def proc():
+        procs = [
+            sim.process(worker(LiteContext(kernels[i], f"u{i}"), i))
+            for i in range(2)
+        ]
+        yield sim.all_of(procs)
+
+    run(cluster, proc())
+    assert len(phases) == 6
+    assert [p for p, _l in sorted(phases)] == [0, 0, 1, 1, 2, 2]
+
+
+def test_fetch_add_accumulates(env):
+    cluster, kernels = env
+    sim = cluster.sim
+    ctx0 = LiteContext(kernels[0], "a")
+    ctx1 = LiteContext(kernels[1], "b")
+
+    def proc():
+        lh = yield from ctx0.lt_malloc(8, name="ctr", nodes=3)
+        from repro.core import Permission
+
+        yield from ctx0.lt_grant("ctr", "b", Permission.READ | Permission.WRITE)
+        lh1 = yield from ctx1.lt_map("ctr")
+
+        def bump(ctx, handle, times):
+            for _ in range(times):
+                yield from ctx.lt_fetch_add(handle, 0, 1)
+
+        procs = [
+            sim.process(bump(ctx0, lh, 10)),
+            sim.process(bump(ctx1, lh1, 10)),
+        ]
+        yield sim.all_of(procs)
+        data = yield from ctx0.lt_read(lh, 0, 8)
+        return int.from_bytes(data, "little")
+
+    assert run(cluster, proc()) == 20
+
+
+def test_test_set(env):
+    cluster, kernels = env
+    ctx = LiteContext(kernels[0], "u")
+
+    def proc():
+        lh = yield from ctx.lt_malloc(8, nodes=2)
+        old = yield from ctx.lt_test_set(lh, 0, 0, 99)
+        assert old == 0
+        old = yield from ctx.lt_test_set(lh, 0, 0, 123)  # fails: now 99
+        assert old == 99
+        data = yield from ctx.lt_read(lh, 0, 8)
+        return int.from_bytes(data, "little")
+
+    assert run(cluster, proc()) == 99
+
+
+def test_lock_across_nodes_under_contention(env):
+    cluster, kernels = env
+    sim = cluster.sim
+    counter = {"v": 0}
+
+    def worker(node_index):
+        ctx = LiteContext(kernels[node_index], f"w{node_index}")
+        lock = yield from ctx.lt_open_lock("global")
+        for _ in range(5):
+            yield from ctx.lt_lock(lock)
+            # Non-atomic read-modify-write made safe only by the lock.
+            value = counter["v"]
+            yield sim.timeout(1)
+            counter["v"] = value + 1
+            yield from ctx.lt_unlock(lock)
+
+    def proc():
+        owner = LiteContext(kernels[0], "owner")
+        yield from owner.lt_create_lock("global", owner_id=1)
+        procs = [sim.process(worker(i)) for i in range(3)]
+        yield sim.all_of(procs)
+
+    run(cluster, proc())
+    assert counter["v"] == 15

@@ -1,0 +1,134 @@
+"""§3.3: cluster-manager state survives a failure restart, plus SRQ
+semantics used by LITE's shared receive path."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, ClusterManager
+from repro.core import LiteContext, Permission, lite_boot
+from repro.verbs import Access, Opcode, RecvWR, SendWR, Sge
+
+
+def test_manager_snapshot_roundtrips_through_json():
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    ctx = LiteContext(kernels[0], "u")
+
+    def setup():
+        yield from ctx.lt_malloc(64, name="persisted", nodes=2)
+
+    cluster.run_process(setup())
+    blob = json.dumps(cluster.manager.snapshot())
+    restored = ClusterManager.restore(json.loads(blob), cluster.nodes)
+    assert restored.lookup_name("persisted") == 1
+    for lite_id in (1, 2, 3):
+        assert restored.lookup(lite_id) is cluster.manager.lookup(lite_id)
+
+
+def test_lite_keeps_working_after_manager_restart():
+    """Swap the manager for a restored replica mid-run: joins, name
+    lookups and new allocations all keep working."""
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    alice = LiteContext(kernels[0], "alice")
+    bob = LiteContext(kernels[1], "bob")
+
+    def phase1():
+        yield from alice.lt_malloc(
+            1024, name="survivor", nodes=3,
+            default_perm=Permission.READ | Permission.WRITE,
+        )
+        lh = yield from alice.lt_map("survivor", Permission.full())
+        yield from alice.lt_write(lh, 0, b"pre-crash")
+
+    cluster.run_process(phase1())
+
+    # Simulated manager crash + restart from its snapshot.
+    snapshot = cluster.manager.snapshot()
+    new_manager = ClusterManager.restore(snapshot, cluster.nodes)
+    cluster.manager = new_manager
+    for kernel in kernels:
+        kernel.manager = new_manager
+
+    def phase2():
+        lh = yield from bob.lt_map("survivor")
+        data = yield from bob.lt_read(lh, 0, 9)
+        assert data == b"pre-crash"
+        # New names register against the restored directory.
+        yield from bob.lt_malloc(64, name="post-crash")
+        assert new_manager.lookup_name("post-crash") == 2
+        return data
+
+    assert cluster.run_process(phase2()) == b"pre-crash"
+
+
+def test_restored_manager_preserves_id_allocation():
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    restored = ClusterManager.restore(
+        cluster.manager.snapshot(), cluster.nodes
+    )
+    # A brand-new node joining after restart gets a fresh id, not a
+    # recycled one.
+    from repro.cluster import Node
+
+    new_node = Node(cluster.sim, 99, cluster.params, cluster.fabric)
+    assert restored.join(new_node) == 3
+
+
+# ------------------------------------------------------------- SRQ --
+
+
+def test_srq_shared_across_qps():
+    """One buffer pool feeds receives on many QPs (how LITE posts its
+    control slots once for all K x N connections)."""
+    cluster = Cluster(2)
+    sim = cluster.sim
+
+    def proc():
+        a, b = cluster[0], cluster[1]
+        pd_a, pd_b = a.device.alloc_pd(), b.device.alloc_pd()
+        mr_a = yield from a.device.reg_mr(pd_a, 4096, Access.ALL)
+        mr_b = yield from b.device.reg_mr(pd_b, 4096, Access.ALL)
+        srq = b.device.create_srq()
+        shared_cq = b.device.create_cq()
+        qps_b = [
+            b.device.create_qp(pd_b, "RC", recv_cq=shared_cq, srq=srq)
+            for _ in range(3)
+        ]
+        qps_a = []
+        for qp_b in qps_b:
+            qp_a = a.device.create_qp(pd_a, "RC")
+            a.device.connect(qp_a, qp_b)
+            qps_a.append(qp_a)
+        for index in range(3):
+            srq.post_recv(RecvWR(mr=mr_b, offset=index * 256, length=256,
+                                 wr_id=index))
+        # One send per QP; all consume from the same SRQ pool.
+        for index, qp_a in enumerate(qps_a):
+            mr_a.write(index * 8, f"qp{index}msg".encode())
+            yield qp_a.post_send(
+                SendWR(Opcode.SEND, sgl=[Sge(mr_a, index * 8, 6)])
+            )
+        seen_qpns = set()
+        payloads = set()
+        for _ in range(3):
+            wc = yield shared_cq.wait_wc()
+            seen_qpns.add(wc.qp_num)
+            offset = wc.wr_id * 256
+            payloads.add(mr_b.read(offset, 6))
+        assert len(seen_qpns) == 3
+        return payloads
+
+    payloads = cluster.run_process(proc())
+    assert payloads == {b"qp0msg", b"qp1msg", b"qp2msg"}
+
+
+def test_srq_counts_postings():
+    cluster = Cluster(1)
+    srq = cluster[0].device.create_srq()
+    srq.post_recv(RecvWR())
+    srq.post_recv(RecvWR())
+    assert srq.posted == 2
+    assert len(srq) == 2

@@ -1,0 +1,159 @@
+"""Tests for the TCP/IPoIB stack and the RDMA-CM wrapper."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.net import rdma_cm_connect
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(3)
+
+
+def test_tcp_connect_and_framed_messages(cluster):
+    sim = cluster.sim
+    listener = cluster[1].tcp.listen(5000)
+    got = []
+
+    def server():
+        conn = yield from listener.accept()
+        msg = yield from conn.recv_msg()
+        got.append(msg)
+        yield from conn.send_msg(b"ack:" + msg)
+
+    def client():
+        conn = yield from cluster[0].tcp.connect(1, 5000)
+        yield from conn.send_msg(b"payload")
+        reply = yield from conn.recv_msg()
+        return reply
+
+    def main():
+        sim.process(server())
+        yield sim.timeout(1)
+        reply = yield from client()
+        return reply
+
+    assert cluster.run_process(main()) == b"ack:payload"
+    assert got == [b"payload"]
+
+
+def test_tcp_byte_stream_preserves_order(cluster):
+    sim = cluster.sim
+    listener = cluster[1].tcp.listen(5001)
+
+    def server(out):
+        conn = yield from listener.accept()
+        data = yield from conn.recv_exact(300)
+        out.append(data)
+
+    def main():
+        out = []
+        sproc = sim.process(server(out))
+        yield sim.timeout(1)
+        conn = yield from cluster[0].tcp.connect(1, 5001)
+        for index in range(3):
+            yield from conn.send(bytes([index]) * 100)
+        yield sproc
+        return out[0]
+
+    data = cluster.run_process(main())
+    assert data == b"\x00" * 100 + b"\x01" * 100 + b"\x02" * 100
+
+
+def test_tcp_latency_far_above_rdma(cluster):
+    sim = cluster.sim
+    listener = cluster[1].tcp.listen(5002)
+
+    def server():
+        conn = yield from listener.accept()
+        while True:
+            msg = yield from conn.recv_msg()
+            yield from conn.send_msg(msg)
+
+    def main():
+        sim.process(server())
+        yield sim.timeout(1)
+        conn = yield from cluster[0].tcp.connect(1, 5002)
+        yield from conn.send_msg(b"warm")
+        yield from conn.recv_msg()
+        start = sim.now
+        yield from conn.send_msg(b"x" * 64)
+        yield from conn.recv_msg()
+        return sim.now - start
+
+    rtt = cluster.run_process(main())
+    # One-way TCP latency ~15-25 us (paper Fig 6); RTT 2x that.
+    assert 25 < rtt < 70
+
+
+def test_tcp_large_transfer_bandwidth(cluster):
+    sim = cluster.sim
+    listener = cluster[1].tcp.listen(5003)
+    nbytes = 2_000_000
+
+    def server(done):
+        conn = yield from listener.accept()
+        data = yield from conn.recv_exact(nbytes)
+        done.append(len(data))
+
+    def main():
+        done = []
+        sproc = sim.process(server(done))
+        yield sim.timeout(1)
+        conn = yield from cluster[0].tcp.connect(1, 5003)
+        start = sim.now
+        yield from conn.send(b"z" * nbytes)
+        yield sproc
+        elapsed = sim.now - start
+        return done[0], nbytes / elapsed  # bytes/us = MB/s / 1e... GB/s*1e-3
+
+    received, rate = cluster.run_process(main())
+    assert received == nbytes
+    # IPoIB single-stream: ~1-2.6 GB/s (1000-2600 bytes/us), below link.
+    assert 800 < rate < 3000
+
+
+def test_tcp_connect_refused(cluster):
+    def main():
+        with pytest.raises(ConnectionRefusedError):
+            yield from cluster[0].tcp.connect(1, 9999)
+
+    cluster.run_process(main())
+
+
+def test_tcp_duplicate_listen_rejected(cluster):
+    cluster[0].tcp.listen(7000)
+    with pytest.raises(ValueError):
+        cluster[0].tcp.listen(7000)
+
+
+def test_rdma_cm_channel_write_read(cluster):
+    def main():
+        chan_a, chan_b = yield from rdma_cm_connect(cluster[0], cluster[1])
+        chan_a.local_mr.write(0, b"cm-data")
+        status = yield from chan_a.write(0, 100, 7)
+        assert status.value == "success"
+        assert chan_b.local_mr.read(100, 7) == b"cm-data"
+        status = yield from chan_b.read(500, 0, 7)
+        assert chan_b.local_mr.read(500, 7) == b"cm-data"
+        return True
+
+    assert cluster.run_process(main()) is True
+
+
+def test_rdma_cm_slower_than_raw_verbs_but_close(cluster):
+    sim = cluster.sim
+
+    def main():
+        chan_a, _chan_b = yield from rdma_cm_connect(cluster[0], cluster[1])
+        yield from chan_a.write(0, 0, 64)  # warm
+        start = sim.now
+        for _ in range(10):
+            yield from chan_a.write(0, 0, 64)
+        return (sim.now - start) / 10
+
+    latency = cluster.run_process(main())
+    overhead = cluster.params.rdma_cm_overhead_us
+    assert latency > overhead
+    assert latency < 5.0

@@ -1,0 +1,225 @@
+"""Unit tests for the QoS manager and the fair per-flow arbiter."""
+
+import pytest
+
+from repro.core import PRIORITY_HIGH, PRIORITY_LOW, lite_boot
+from repro.core.qos import QosManager
+from repro.cluster import Cluster
+from repro.hw import SimParams
+from repro.sim import FairResource, SimulationError, Simulator
+
+
+# ----------------------------------------------------- FairResource --
+
+
+def test_fair_resource_grants_immediately_when_free():
+    sim = Simulator()
+    res = FairResource(sim)
+    event = res.request("a")
+    assert event.triggered
+
+
+def test_fair_resource_round_robins_across_flows():
+    sim = Simulator()
+    res = FairResource(sim)
+    order = []
+
+    def holder():
+        yield res.request("boot")
+        yield sim.timeout(10)
+        res.release()
+
+    def user(flow, label):
+        yield res.request(flow)
+        order.append(label)
+        yield sim.timeout(1)
+        res.release()
+
+    sim.process(holder())
+
+    def spawn():
+        yield sim.timeout(1)
+        # Flow A backlogs three requests; flows B and C one each.
+        sim.process(user("A", "a1"))
+        sim.process(user("A", "a2"))
+        sim.process(user("A", "a3"))
+        sim.process(user("B", "b1"))
+        sim.process(user("C", "c1"))
+
+    sim.process(spawn())
+    sim.run()
+    # Round-robin: every flow is served before A gets its second grant.
+    assert order.index("b1") < order.index("a2")
+    assert order.index("c1") < order.index("a2")
+    assert order.count("a1") == 1 and len(order) == 5
+
+
+def test_fair_resource_single_flow_is_fifo():
+    sim = Simulator()
+    res = FairResource(sim)
+    order = []
+
+    def user(label):
+        yield res.request(None)
+        order.append(label)
+        yield sim.timeout(1)
+        res.release()
+
+    for label in "abcd":
+        sim.process(user(label))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_fair_resource_release_without_request():
+    sim = Simulator()
+    res = FairResource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_fair_resource_bandwidth_share_proportional_to_flows():
+    """3 backlogged flows vs 1: the 3-flow class gets ~3/4 of grants."""
+    sim = Simulator()
+    res = FairResource(sim)
+    counts = {"high": 0, "low": 0}
+
+    def pump(flow, cls):
+        while sim.now < 1000:
+            yield res.request(flow)
+            yield sim.timeout(1)
+            res.release()
+            counts[cls] += 1
+
+    for flow in ("h1", "h2", "h3"):
+        sim.process(pump(flow, "high"))
+    sim.process(pump("l1", "low"))
+    sim.run(until=1000)
+    share = counts["high"] / (counts["high"] + counts["low"])
+    assert 0.70 < share < 0.80
+
+
+# ----------------------------------------------------------- QosManager --
+
+
+@pytest.fixture
+def qos_env():
+    cluster = Cluster(2, params=SimParams(lite_qp_factor_k=4))
+    kernels = lite_boot(cluster)
+    return cluster, kernels
+
+
+def test_qos_rejects_unknown_mode(qos_env):
+    _cluster, kernels = qos_env
+    with pytest.raises(ValueError):
+        QosManager(kernels[0], mode="nonsense")
+
+
+def test_hw_sep_partitions_qps(qos_env):
+    _cluster, kernels = qos_env
+    qos = kernels[0].qos
+    qos.mode = "hw-sep"
+    peer = kernels[0].peer(2)
+    high = qos.eligible_qps(peer, PRIORITY_HIGH)
+    low = qos.eligible_qps(peer, PRIORITY_LOW)
+    assert len(high) == 3 and len(low) == 1
+    high_qps = {qp.qpn for qp, _w in high}
+    low_qps = {qp.qpn for qp, _w in low}
+    assert not high_qps & low_qps
+
+
+def test_no_qos_shares_all_qps(qos_env):
+    _cluster, kernels = qos_env
+    qos = kernels[0].qos
+    peer = kernels[0].peer(2)
+    assert len(qos.eligible_qps(peer, PRIORITY_HIGH)) == 4
+    assert len(qos.eligible_qps(peer, PRIORITY_LOW)) == 4
+
+
+def test_sw_pri_gate_unlimited_without_high_traffic(qos_env):
+    cluster, kernels = qos_env
+    qos = kernels[0].qos
+    qos.mode = "sw-pri"
+    sim = cluster.sim
+
+    def proc():
+        start = sim.now
+        for _ in range(20):
+            yield from qos.gate(PRIORITY_LOW)
+        return sim.now - start
+
+    # Policy 2: no high-priority load -> no delay at all.
+    assert cluster.run_process(proc()) == 0.0
+
+
+def test_sw_pri_gate_throttles_low_under_high_load(qos_env):
+    cluster, kernels = qos_env
+    qos = kernels[0].qos
+    qos.mode = "sw-pri"
+    sim = cluster.sim
+
+    def proc():
+        # Simulate heavy high-priority traffic.
+        for _ in range(150):
+            qos.observe(PRIORITY_HIGH, rtt=2.0)
+        start = sim.now
+        for _ in range(10):
+            yield from qos.gate(PRIORITY_LOW)
+        return sim.now - start
+
+    elapsed = cluster.run_process(proc())
+    # Policy 1: clamped to the minimum rate: 10 ops take >= 9/0.02 us.
+    assert elapsed > 400.0
+    assert qos.low_delayed_ops > 0
+
+
+def test_sw_pri_gate_throttles_on_rtt_inflation(qos_env):
+    cluster, kernels = qos_env
+    qos = kernels[0].qos
+    qos.mode = "sw-pri"
+    sim = cluster.sim
+
+    def proc():
+        # Light high-priority load, but with badly inflated RTTs.
+        qos.observe(PRIORITY_HIGH, rtt=2.0)   # floor
+        for _ in range(5):
+            qos.observe(PRIORITY_HIGH, rtt=50.0)
+        start = sim.now
+        for _ in range(5):
+            yield from qos.gate(PRIORITY_LOW)
+        return sim.now - start
+
+    # Policy 3 kicks in despite the low op count.
+    assert cluster.run_process(proc()) > 100.0
+
+
+def test_high_priority_never_gated(qos_env):
+    cluster, kernels = qos_env
+    qos = kernels[0].qos
+    qos.mode = "sw-pri"
+    sim = cluster.sim
+
+    def proc():
+        for _ in range(100):
+            qos.observe(PRIORITY_HIGH, rtt=2.0)
+        start = sim.now
+        for _ in range(20):
+            yield from qos.gate(PRIORITY_HIGH)
+        return sim.now - start
+
+    assert cluster.run_process(proc()) == 0.0
+
+
+def test_observe_window_trims_old_samples(qos_env):
+    cluster, kernels = qos_env
+    qos = kernels[0].qos
+    sim = cluster.sim
+
+    def proc():
+        for _ in range(30):
+            qos.observe(PRIORITY_HIGH, rtt=2.0)
+        assert qos.high_load() == 30
+        yield sim.timeout(1000)  # past the 500 us window
+        return qos.high_load()
+
+    assert cluster.run_process(proc()) == 0

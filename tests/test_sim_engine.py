@@ -1,0 +1,267 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(3.5)
+        return sim.now
+
+    assert sim.run_process(proc()) == 3.5
+    assert sim.now == 3.5
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(1, "payload")
+        return value
+
+    assert sim.run_process(proc()) == "payload"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(delay, label):
+        yield sim.timeout(delay)
+        order.append(label)
+
+    sim.process(waiter(5, "b"))
+    sim.process(waiter(2, "a"))
+    sim.process(waiter(9, "c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_order_for_simultaneous_events():
+    sim = Simulator()
+    order = []
+
+    def waiter(label):
+        yield sim.timeout(1)
+        order.append(label)
+
+    for label in "abcd":
+        sim.process(waiter(label))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_process_return_value_and_join():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2)
+        return 99
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    assert sim.run_process(parent()) == 100
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append((sim.now, value))
+
+    def firer():
+        yield sim.timeout(4)
+        gate.succeed("go")
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert seen == [(4.0, "go")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_failed_event_raises_in_process():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield sim.timeout(1)
+        gate.fail(RuntimeError("boom"))
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_via_stop():
+    sim = Simulator()
+
+    def exploder():
+        yield sim.timeout(1)
+        raise ValueError("bad")
+
+    with pytest.raises(ValueError, match="bad"):
+        sim.run_process(exploder())
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def proc():
+        timeouts = [sim.timeout(d, d) for d in (3, 1, 2)]
+        results = yield sim.all_of(timeouts)
+        return (sim.now, sorted(results.values()))
+
+    now, values = sim.run_process(proc())
+    assert now == 3.0
+    assert values == [1, 2, 3]
+
+
+def test_any_of_returns_on_first():
+    sim = Simulator()
+
+    def proc():
+        results = yield sim.any_of([sim.timeout(5, "slow"), sim.timeout(1, "fast")])
+        return (sim.now, list(results.values()))
+
+    now, values = sim.run_process(proc())
+    assert now == 1.0
+    assert values == ["fast"]
+
+
+def test_all_of_with_pretriggered_events():
+    sim = Simulator()
+
+    def proc():
+        done = sim.event()
+        done.succeed("x")
+        yield sim.timeout(1)
+        results = yield sim.all_of([done])
+        return results[0]
+
+    assert sim.run_process(proc()) == "x"
+
+
+def test_interrupt_raises_in_target():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as exc:
+            log.append((sim.now, exc.cause))
+
+    def interrupter(target):
+        yield sim.timeout(7)
+        target.interrupt("wakeup")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [(7.0, "wakeup")]
+
+
+def test_cannot_interrupt_finished_process():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield sim.timeout(10)
+            ticks.append(sim.now)
+
+    sim.process(ticker())
+    sim.run(until=35)
+    assert ticks == [10, 20, 30]
+    assert sim.now == 35
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    with pytest.raises(SimulationError):
+        sim.run_process(bad())
+
+
+def test_run_out_of_events_with_pending_stop_raises():
+    sim = Simulator()
+    never = sim.event()
+
+    def idle():
+        yield sim.timeout(1)
+
+    sim.process(idle())
+    with pytest.raises(SimulationError):
+        sim.run(stop=never)
+
+
+def test_nested_processes_three_deep():
+    sim = Simulator()
+
+    def leaf():
+        yield sim.timeout(1)
+        return 1
+
+    def middle():
+        value = yield sim.process(leaf())
+        yield sim.timeout(1)
+        return value + 1
+
+    def root():
+        value = yield sim.process(middle())
+        return value + 1
+
+    assert sim.run_process(root()) == 3
+    assert sim.now == 2.0

@@ -1,0 +1,159 @@
+"""Unit tests for simulation resources (Resource, Store, Signal, Gauge)."""
+
+import pytest
+
+from repro.sim import (
+    Gauge,
+    PriorityResource,
+    Resource,
+    Signal,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    granted = []
+
+    def user(label, hold):
+        yield res.request()
+        granted.append((label, sim.now))
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.process(user("a", 10))
+    sim.process(user("b", 10))
+    sim.process(user("c", 10))
+    sim.run()
+    assert granted[0] == ("a", 0.0)
+    assert granted[1] == ("b", 0.0)
+    assert granted[2] == ("c", 10.0)
+
+
+def test_resource_fifo_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(label):
+        yield res.request()
+        order.append(label)
+        yield sim.timeout(1)
+        res.release()
+
+    for label in "abc":
+        sim.process(user(label))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_release_without_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_priority_resource_serves_high_priority_first():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder():
+        yield res.request(priority=0)
+        yield sim.timeout(10)
+        res.release()
+
+    def user(label, priority, delay):
+        yield sim.timeout(delay)
+        yield res.request(priority=priority)
+        order.append(label)
+        yield sim.timeout(1)
+        res.release()
+
+    sim.process(holder())
+    sim.process(user("low", 5, 1))
+    sim.process(user("high", 1, 2))
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_store_fifo_and_blocking_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+    def producer():
+        store.put("x")
+        yield sim.timeout(5)
+        store.put("y")
+        store.put("z")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(0.0, "x"), (5.0, "y"), (5.0, "z")]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(1)
+    assert store.try_get() == 1
+    assert store.try_get() is None
+
+
+def test_signal_wakes_all_waiters():
+    sim = Simulator()
+    signal = Signal(sim)
+    woken = []
+
+    def waiter(label):
+        value = yield signal.wait()
+        woken.append((label, value, sim.now))
+
+    def firer():
+        yield sim.timeout(3)
+        assert signal.fire("v") == 2
+
+    sim.process(waiter("a"))
+    sim.process(waiter("b"))
+    sim.process(firer())
+    sim.run()
+    assert sorted(woken) == [("a", "v", 3.0), ("b", "v", 3.0)]
+
+
+def test_gauge_time_average():
+    sim = Simulator()
+    gauge = Gauge(sim)
+
+    def proc():
+        gauge.set(10)
+        yield sim.timeout(5)
+        gauge.set(0)
+        yield sim.timeout(5)
+
+    sim.run_process(proc())
+    assert gauge.time_average() == pytest.approx(5.0)
+
+
+def test_gauge_add():
+    sim = Simulator()
+    gauge = Gauge(sim, value=1.0)
+    gauge.add(2.0)
+    assert gauge.value == 3.0

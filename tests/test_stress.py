@@ -1,0 +1,192 @@
+"""Randomized stress tests with strong end-state invariants."""
+
+import random
+import struct
+
+import pytest
+
+from repro.apps.dsm import LiteDsm, PAGE_SIZE
+from repro.cluster import Cluster
+from repro.core import LiteContext, Permission, lite_boot
+from repro.verbs import Access, Opcode, SendWR, Sge, WcStatus
+
+
+def test_dsm_randomized_writers_respect_release_consistency():
+    """Random acquire/write/release traffic from every node: after each
+    global barrier, every node reads exactly the last-released value of
+    every slot (MRSW release consistency)."""
+    rng = random.Random(99)
+    cluster = Cluster(4)
+    kernels = lite_boot(cluster)
+    dsm = LiteDsm(kernels, "stress", 16 * PAGE_SIZE)
+    cluster.run_process(dsm.build())
+    sim = cluster.sim
+    n_slots = 8
+    n_rounds = 6
+    # Ground truth, updated only at release points.
+    committed = {slot: b"\x00" * 8 for slot in range(n_slots)}
+    plan = []  # per round: {slot: (writer, value)}
+    for round_index in range(n_rounds):
+        round_plan = {}
+        for slot in rng.sample(range(n_slots), k=rng.randint(1, n_slots)):
+            writer = rng.randrange(4)
+            value = struct.pack("<Q", rng.getrandbits(64))
+            round_plan[slot] = (writer, value)
+        plan.append(round_plan)
+
+    def node_proc(index):
+        node = dsm.nodes[index]
+        for round_index, round_plan in enumerate(plan):
+            mine = {slot: value for slot, (writer, value)
+                    in round_plan.items() if writer == index}
+            if mine:
+                for slot, value in mine.items():
+                    addr = slot * PAGE_SIZE
+                    yield from node.acquire(addr, 8)
+                    yield from node.write(addr, value)
+                yield from node.release()
+            yield from node.barrier(f"r{round_index}")
+            # Everyone validates the full committed state.
+            for slot in range(n_slots):
+                expect = (round_plan[slot][1] if slot in round_plan
+                          else committed[slot])
+                data = yield from node.read(slot * PAGE_SIZE, 8)
+                assert data == expect, (
+                    f"node {index} round {round_index} slot {slot}: "
+                    f"{data!r} != {expect!r}"
+                )
+            yield from node.barrier(f"r{round_index}-done")
+            if index == 0:
+                for slot, (_writer, value) in round_plan.items():
+                    committed[slot] = value
+            yield from node.barrier(f"r{round_index}-commit")
+
+    def driver():
+        procs = [sim.process(node_proc(i)) for i in range(4)]
+        yield sim.all_of(procs)
+
+    cluster.run_process(driver())
+
+
+def test_verbs_concurrent_ops_one_cqe_per_signaled_wr():
+    """A randomized storm of signaled/unsignaled ops: exactly one CQE
+    per signaled WR, all successful, payloads intact."""
+    rng = random.Random(5)
+    cluster = Cluster(2)
+
+    def proc():
+        a, b = cluster[0], cluster[1]
+        pd_a, pd_b = a.device.alloc_pd(), b.device.alloc_pd()
+        mr_a = yield from a.device.reg_mr(pd_a, 1 << 16, Access.ALL)
+        mr_b = yield from b.device.reg_mr(pd_b, 1 << 16, Access.ALL)
+        send_cq = a.device.create_cq()
+        qps = []
+        for _ in range(3):
+            qa = a.device.create_qp(pd_a, "RC", send_cq=send_cq)
+            qb = b.device.create_qp(pd_b, "RC")
+            a.device.connect(qa, qb)
+            qps.append(qa)
+        signaled = 0
+        procs = []
+        expectations = []
+        for index in range(60):
+            qp = qps[rng.randrange(3)]
+            size = rng.choice([8, 64, 700, 4096])
+            offset = rng.randrange((1 << 16) - size)
+            payload = bytes([index % 256]) * size
+            mr_a.write(0, payload)
+            is_signaled = rng.random() < 0.5
+            if is_signaled:
+                signaled += 1
+            wr = SendWR(
+                Opcode.WRITE,
+                inline_data=payload,
+                remote_addr=mr_b.base_addr + offset,
+                rkey=mr_b.rkey,
+                signaled=is_signaled,
+            )
+            procs.append(qp.post_send(wr))
+            expectations.append((offset, payload))
+        results = yield cluster.sim.all_of(procs)
+        assert all(status is WcStatus.SUCCESS for status in results.values())
+        completions = send_cq.poll(max_entries=1000)
+        assert len(completions) == signaled
+        assert all(wc.ok for wc in completions)
+        # Last-writer-wins per offset is unverifiable with overlaps;
+        # check a non-overlapping suffix instead: rewrite disjoint slots.
+        checks = []
+        for index in range(8):
+            offset = index * 5000
+            payload = bytes([200 + index]) * 128
+            wr = SendWR(Opcode.WRITE, inline_data=payload,
+                        remote_addr=mr_b.base_addr + offset,
+                        rkey=mr_b.rkey, signaled=False)
+            checks.append((offset, payload, qps[index % 3].post_send(wr)))
+        yield cluster.sim.all_of([proc for _o, _p, proc in checks])
+        for offset, payload, _proc in checks:
+            assert mr_b.read(offset, 128) == payload
+        return True
+
+    assert cluster.run_process(proc()) is True
+
+
+def test_lite_mixed_op_storm_preserves_data():
+    """Concurrent writes/reads/atomics/RPCs from three nodes against
+    shared LMRs: final counters and buffers are exactly as expected."""
+    rng = random.Random(11)
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    sim = cluster.sim
+    n_counters = 4
+    increments = {i: 0 for i in range(n_counters)}
+    from repro.core import rpc_server_loop
+
+    echo_ctx = LiteContext(kernels[2], "echo")
+    sim.process(rpc_server_loop(echo_ctx, 5, lambda d: d))
+
+    def setup():
+        creator = LiteContext(kernels[0], "creator")
+        yield from creator.lt_malloc(
+            4096, name="storm", nodes=2,
+            default_perm=Permission.READ | Permission.WRITE,
+        )
+        yield sim.timeout(2)
+
+    cluster.run_process(setup())
+
+    def worker(node_index, worker_index, ops):
+        ctx = LiteContext(kernels[node_index], f"w{node_index}-{worker_index}")
+        lh = yield from ctx.lt_map("storm")
+        for op_index in range(ops):
+            kind = rng.random()
+            if kind < 0.4:
+                counter = rng.randrange(n_counters)
+                increments[counter] += 1
+                yield from ctx.lt_fetch_add(lh, counter * 8, 1)
+            elif kind < 0.7:
+                slot = 512 + (node_index * 4 + worker_index) * 64
+                yield from ctx.lt_write(
+                    lh, slot, f"{node_index}:{worker_index}:{op_index}".encode()
+                )
+            elif kind < 0.9:
+                yield from ctx.lt_read(lh, 512, 64)
+            else:
+                reply = yield from ctx.lt_rpc(3, 5, b"ping", max_reply=32)
+                assert reply == b"ping"
+
+    def driver():
+        procs = [
+            sim.process(worker(node, w, 25))
+            for node in range(3) for w in range(2)
+        ]
+        yield sim.all_of(procs)
+        reader = LiteContext(kernels[0], "reader")
+        lh = yield from reader.lt_map("storm")
+        values = []
+        for counter in range(n_counters):
+            data = yield from reader.lt_read(lh, counter * 8, 8)
+            values.append(struct.unpack("<Q", data)[0])
+        return values
+
+    values = cluster.run_process(driver())
+    assert values == [increments[i] for i in range(n_counters)]

@@ -1,0 +1,159 @@
+"""Tests for the workload generators (stand-ins for the paper's traces)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    FacebookKV,
+    ZipfSampler,
+    degree_histogram,
+    generate_corpus,
+    powerlaw_graph,
+    vocabulary,
+)
+
+
+# ------------------------------------------------------------- Zipf --
+
+
+def test_zipf_is_deterministic_with_seeded_rng():
+    a = ZipfSampler(100, rng=random.Random(1)).sample_many(50)
+    b = ZipfSampler(100, rng=random.Random(1)).sample_many(50)
+    assert a == b
+
+
+def test_zipf_head_dominates():
+    sampler = ZipfSampler(1000, s=1.0, rng=random.Random(2))
+    draws = sampler.sample_many(20_000)
+    head_share = sum(1 for d in draws if d < 10) / len(draws)
+    assert head_share > 0.30
+
+
+def test_zipf_zero_exponent_is_uniformish():
+    sampler = ZipfSampler(10, s=0.0, rng=random.Random(3))
+    draws = sampler.sample_many(20_000)
+    counts = [draws.count(i) for i in range(10)]
+    assert max(counts) < 2 * min(counts)
+
+
+def test_zipf_validates_inputs():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(5, s=-1)
+
+
+@given(n=st.integers(min_value=1, max_value=200))
+@settings(max_examples=30, deadline=None)
+def test_property_zipf_samples_in_range(n):
+    sampler = ZipfSampler(n, rng=random.Random(4))
+    for draw in sampler.sample_many(50):
+        assert 0 <= draw < n
+
+
+# ------------------------------------------------------ Facebook KV --
+
+
+def test_fb_key_sizes_in_published_range():
+    workload = FacebookKV(seed=5)
+    sizes = [workload.key_size() for _ in range(5000)]
+    assert all(16 <= s <= 250 for s in sizes)
+    median = sorted(sizes)[len(sizes) // 2]
+    assert 25 <= median <= 40  # Atikoglu: median ~31 B
+
+
+def test_fb_value_sizes_bimodal_with_tail():
+    workload = FacebookKV(seed=6)
+    sizes = [workload.value_size() for _ in range(10_000)]
+    assert all(1 <= s <= 4096 for s in sizes)
+    small_share = sum(1 for s in sizes if s <= 100) / len(sizes)
+    tail_share = sum(1 for s in sizes if s > 2048) / len(sizes)
+    assert small_share > 0.5
+    assert 0.01 < tail_share < 0.15
+
+
+def test_fb_inter_arrival_mean_and_amplification():
+    workload = FacebookKV(seed=7, mean_inter_arrival_us=1000.0)
+    gaps = [workload.inter_arrival() for _ in range(20_000)]
+    mean = sum(gaps) / len(gaps)
+    assert 850 < mean < 1150
+    workload2 = FacebookKV(seed=7, mean_inter_arrival_us=1000.0)
+    amplified = [workload2.inter_arrival(4.0) for _ in range(20_000)]
+    assert 3.5 < (sum(amplified) / len(amplified)) / mean < 4.5
+
+
+def test_fb_arrival_times_monotone():
+    workload = FacebookKV(seed=8)
+    times = workload.arrival_times(100)
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+# ------------------------------------------------------------ graphs --
+
+
+def test_powerlaw_graph_deterministic():
+    assert powerlaw_graph(500, 5, seed=1) == powerlaw_graph(500, 5, seed=1)
+    assert powerlaw_graph(500, 5, seed=1) != powerlaw_graph(500, 5, seed=2)
+
+
+def test_powerlaw_graph_no_self_loops_or_duplicates():
+    edges = powerlaw_graph(1000, 6)
+    assert len(edges) == len(set(edges))
+    assert all(src != dst for src, dst in edges)
+
+
+def test_powerlaw_graph_every_vertex_has_out_edges():
+    edges = powerlaw_graph(400, 4)
+    sources = {src for src, _dst in edges}
+    # All but vertex 0 (the seed) emit edges.
+    assert sources >= set(range(1, 400))
+
+
+def test_powerlaw_degree_tail():
+    edges = powerlaw_graph(3000, 8)
+    hist = degree_histogram(edges, "in")
+    mean_degree = len(edges) / 3000
+    assert max(hist) > 15 * mean_degree
+
+
+def test_powerlaw_validates():
+    with pytest.raises(ValueError):
+        powerlaw_graph(1, 2)
+    with pytest.raises(ValueError):
+        powerlaw_graph(10, 0)
+
+
+# -------------------------------------------------------------- text --
+
+
+def test_corpus_deterministic_and_sized():
+    a = generate_corpus(10, 50, seed=9)
+    b = generate_corpus(10, 50, seed=9)
+    assert a == b
+    assert len(a) == 10
+    assert all(len(doc.split()) == 50 for doc in a)
+
+
+def test_corpus_word_frequencies_zipfian():
+    from collections import Counter
+
+    corpus = generate_corpus(50, 200, vocab_size=500, seed=10)
+    counts = Counter()
+    for doc in corpus:
+        counts.update(doc.split())
+    frequencies = sorted(counts.values(), reverse=True)
+    # Top word appears far more often than the median word.
+    assert frequencies[0] > 10 * frequencies[len(frequencies) // 2]
+
+
+def test_vocabulary_unique():
+    words = vocabulary(500)
+    assert len(set(words)) == 500
+
+
+def test_corpus_validates():
+    with pytest.raises(ValueError):
+        generate_corpus(0, 10)

@@ -1,0 +1,75 @@
+"""Count lines of code and LITE-API call sites per application.
+
+Regenerates the paper's Figure 20 table ("LITE Application
+Implementation Effort"): total LOC of each application and how many of
+those lines touch the LITE API (``lt_*`` calls, context creation,
+locks/barriers) — the paper's point being that a handful of LITE lines
+encapsulate all networking.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Tuple
+
+__all__ = ["count_loc", "count_lite_lines", "app_effort_table"]
+
+_LITE_CALL = re.compile(
+    r"\.lt_\w+\(|LiteContext\(|lite_boot\(|rpc_server_loop\(|LiteLock\("
+)
+
+
+def _code_lines(path: Path) -> Iterable[str]:
+    """Source lines excluding blanks, comments, and docstrings."""
+    in_doc = False
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if in_doc:
+            if line.endswith('"""') or line.endswith("'''"):
+                in_doc = False
+            continue
+        if line.startswith('"""') or line.startswith("'''"):
+            quote = line[:3]
+            if not (line.endswith(quote) and len(line) > 3):
+                in_doc = True
+            continue
+        if line.startswith("#"):
+            continue
+        yield line
+
+
+def count_loc(paths: Iterable[Path]) -> int:
+    return sum(1 for path in paths for _line in _code_lines(path))
+
+
+def count_lite_lines(paths: Iterable[Path]) -> int:
+    return sum(
+        1
+        for path in paths
+        for line in _code_lines(path)
+        if _LITE_CALL.search(line)
+    )
+
+
+def app_effort_table(repo_root: Path) -> list:
+    """Rows of (application, LOC, LOC-using-LITE)."""
+    apps = repo_root / "src" / "repro" / "apps"
+    inventory: Tuple = (
+        ("LITE-Log", [apps / "litelog.py"]),
+        ("LITE-MR", [apps / "mapreduce" / "lite_mr.py"]),
+        ("LITE-Graph", [apps / "graph" / "litegraph.py"]),
+        ("LITE-DSM", [apps / "dsm" / "litedsm.py"]),
+        ("LITE-Graph-DSM", [apps / "dsm" / "graphdsm.py"]),
+    )
+    rows = []
+    for name, paths in inventory:
+        rows.append((name, count_loc(paths), count_lite_lines(paths)))
+    return rows
+
+
+if __name__ == "__main__":
+    for row in app_effort_table(Path(__file__).resolve().parents[1]):
+        print(*row)

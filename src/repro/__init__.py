@@ -6,6 +6,7 @@ on a :class:`repro.cluster.Cluster`; see README.md and docs/API.md.
 """
 
 from .cluster import Cluster, ClusterManager, Node
+from .fault import FaultInjector, FaultPlan
 from .core import (
     LiteContext,
     LiteError,
@@ -30,5 +31,7 @@ __all__ = [
     "rpc_server_loop",
     "SimParams",
     "DEFAULT_PARAMS",
+    "FaultPlan",
+    "FaultInjector",
     "__version__",
 ]

@@ -156,9 +156,14 @@ class LiteKVServer:
 class LiteKVClient:
     """Client with a location cache: GETs are one-sided after warmup."""
 
-    def __init__(self, kernel, servers: List[LiteKVServer], principal: str = ""):
+    def __init__(self, kernel, servers: List[LiteKVServer], principal: str = "",
+                 rpc_timeout_us: Optional[float] = None, rpc_retries: int = 0):
         self.ctx = LiteContext(kernel, principal or "kv-client")
         self.servers = servers
+        # Failure policy for the RPC path (None = wait forever, the
+        # fault-free default); chaos runs set a timeout + retries.
+        self.rpc_timeout_us = rpc_timeout_us
+        self.rpc_retries = rpc_retries
         self._log_handles: Dict[int, object] = {}
         self._location_cache: Dict[bytes, Tuple[int, int, int, int]] = {}
         self.onesided_gets = 0
@@ -181,7 +186,8 @@ class LiteKVClient:
              max_reply: int = 256):
         request = json.dumps(command).encode() + b"\x00" + payload
         reply = yield from self.ctx.lt_rpc(
-            server.lite_id, _FUNC_KV, request, max_reply=max_reply
+            server.lite_id, _FUNC_KV, request, max_reply=max_reply,
+            timeout=self.rpc_timeout_us, retries=self.rpc_retries,
         )
         decoded = json.loads(reply.decode())
         if "err" in decoded:

@@ -171,7 +171,8 @@ class LiteMR:
     _job_counter = 0
 
     def __init__(self, kernels, n_workers: int = None, total_threads: int = 8,
-                 n_partitions: int = 8, costs: MrCosts = None):
+                 n_partitions: int = 8, costs: MrCosts = None,
+                 rpc_timeout_us: float = None, rpc_retries: int = 0):
         if len(kernels) < 2:
             raise ValueError("LITE-MR needs a master plus at least one worker")
         LiteMR._job_counter += 1
@@ -190,6 +191,9 @@ class LiteMR:
         self.n_partitions = n_partitions
         self.phase_times: Dict[str, float] = {}
         self.result: Counter = Counter()
+        # Failure policy for master->worker RPCs (None = wait forever).
+        self.rpc_timeout_us = rpc_timeout_us
+        self.rpc_retries = rpc_retries
 
     def _worker_id(self, worker: _Worker) -> int:
         return worker.ctx.lite_id
@@ -198,6 +202,7 @@ class LiteMR:
         reply = yield from self.master.lt_rpc(
             self._worker_id(worker), _FUNC_WORKER,
             json.dumps(command).encode(), max_reply=256 * 1024,
+            timeout=self.rpc_timeout_us, retries=self.rpc_retries,
         )
         return json.loads(reply.decode())
 

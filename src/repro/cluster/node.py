@@ -34,6 +34,9 @@ class Node:
         self.rnic = Rnic(sim, node_id, params)
         self.port = fabric.attach(node_id)
         fabric.nodes[node_id] = self
+        # Set by the fault injector while the node is failed (fail-stop:
+        # its link is down and peers cannot reach it).
+        self.crashed = False
         # Lazily-created protocol stacks, one each per node.
         self._verbs_device = None
         self._tcp_stack = None

@@ -1,7 +1,8 @@
 """LITE core: the paper's primary contribution."""
 
 from .api import LiteContext, LiteLock, lite_boot, rpc_server_loop
-from .kernel import LiteError, LiteKernel
+from .errors import ECONNRESET, EIO, ENODEV, ETIMEDOUT, LiteError
+from .kernel import LiteKernel
 from .lmr import ChunkInfo, LmrHandle, MappedLmr, MasterRecord, Permission
 from .qos import PRIORITY_HIGH, PRIORITY_LOW, QosManager
 from .rdma import OneSidedEngine, RdmaOpError
@@ -28,4 +29,8 @@ __all__ = [
     "QosManager",
     "PRIORITY_HIGH",
     "PRIORITY_LOW",
+    "ETIMEDOUT",
+    "ENODEV",
+    "ECONNRESET",
+    "EIO",
 ]

@@ -456,13 +456,20 @@ class LiteContext:
         self.kernel.rpc.register(func_id)
 
     def lt_rpc(self, server_id: int, func_id: int, data: bytes,
-               max_reply: int = 4096, timeout: Optional[float] = None):
-        """LT_RPC: call ``func_id`` at ``server_id`` (generator; returns reply)."""
+               max_reply: int = 4096, timeout: Optional[float] = None,
+               retries: int = 0):
+        """LT_RPC: call ``func_id`` at ``server_id`` (generator; returns reply).
+
+        With a ``timeout``, up to ``retries`` same-token resends are
+        attempted before :class:`RpcTimeoutError`; the server suppresses
+        duplicates, so retries are safe for non-idempotent handlers.
+        """
         yield from self._enter()
         yield from self._metadata()
         reply = yield from self.kernel.rpc.call(
             server_id, func_id, data, max_reply=max_reply,
-            priority=self.priority, timeout=timeout, waiter=self._waiter(),
+            priority=self.priority, timeout=timeout, retries=retries,
+            waiter=self._waiter(),
         )
         yield from self._exit()
         return reply

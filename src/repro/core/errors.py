@@ -1,0 +1,34 @@
+"""LITE's error-return surface.
+
+The paper's pitch (§3.2) is that applications see clean error codes
+instead of raw transport states: a QP blowing through its retry budget,
+a dead peer, or a lost control message all surface as a
+:class:`LiteError` with a POSIX-style ``errno``.  The module lives apart
+from :mod:`repro.core.kernel` so the RPC/one-sided engines can raise
+LITE errors without circular imports.
+"""
+
+from __future__ import annotations
+
+from errno import ECONNRESET, EIO, ENODEV, ETIMEDOUT
+from typing import Optional
+
+__all__ = ["LiteError", "ETIMEDOUT", "ENODEV", "ECONNRESET", "EIO"]
+
+
+class LiteError(Exception):
+    """A LITE API failure.
+
+    ``errno`` classifies failures the fault-tolerance machinery
+    produces; plain usage errors (bad name, permission denial) leave it
+    ``None``:
+
+    - ``ETIMEDOUT`` — retry budget exhausted with no answer from the peer
+    - ``ENODEV``    — peer is known-dead (keep-alive) or never connected
+    - ``ECONNRESET``— transport connection errored mid-operation
+    - ``EIO``       — remote side rejected the operation (access/perm)
+    """
+
+    def __init__(self, message: str, errno: Optional[int] = None):
+        super().__init__(message)
+        self.errno = errno

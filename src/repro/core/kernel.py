@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from ..sim import Event, Store
 from ..verbs import Access, Opcode, RecvWR, SendWR
+from .errors import ENODEV, ETIMEDOUT, LiteError
 from .lmr import ChunkInfo, MasterRecord, MappedLmr, Permission
 from .protocol import MsgType, decode_ctrl, encode_ctrl
 from .qos import QosManager
@@ -32,15 +33,15 @@ from .sync import SyncService
 
 __all__ = ["LiteKernel", "LiteError"]
 
-
-class LiteError(Exception):
-    """A LITE API failure (bad name, permission denial at master, ...)."""
+# Bound on the duplicate-suppression reply cache (entries, not bytes).
+_CTRL_REPLY_CACHE_MAX = 512
 
 
 class PeerInfo:
     """Everything needed to talk to one remote LITE instance."""
 
-    __slots__ = ("lite_id", "node_id", "global_rkey", "qps", "windows", "_rr")
+    __slots__ = ("lite_id", "node_id", "global_rkey", "qps", "windows", "_rr",
+                 "alive")
 
     def __init__(self, lite_id: int, node_id: int, global_rkey: int):
         self.lite_id = lite_id
@@ -49,6 +50,9 @@ class PeerInfo:
         self.qps: List = []
         self.windows: List = []  # per-QP outstanding-op windows
         self._rr = 0
+        # Liveness verdict: flipped by keep-alive (or by the data path
+        # when keep-alive runs); a dead peer fails fast with ENODEV.
+        self.alive = True
 
 
 class LiteKernel:
@@ -93,6 +97,14 @@ class LiteKernel:
         self.sync = SyncService(self)
         self._poller = None
         self.booted = False
+        # Fault tolerance (off by default: zero-cost, seed-identical
+        # behavior).  enable_fault_tolerance() or a FaultInjector flips
+        # these on.
+        self.ctrl_timeout_us = 0.0  # 0 = wait forever (seed behavior)
+        self.ctrl_retries = 0
+        self._ctrl_reply_cache: Dict[tuple, dict] = {}
+        self._ctrl_inflight: set = set()
+        self._keepalive = None
 
     # ------------------------------------------------------------------
     # Boot & connection management
@@ -178,11 +190,21 @@ class LiteKernel:
         self.node_to_lite[other.node.node_id] = other.lite_id
         other.node_to_lite[self.node.node_id] = self.lite_id
 
-    def peer(self, lite_id: int) -> PeerInfo:
-        """Connection state toward a LITE instance (incl. loopback)."""
-        if lite_id not in self.peers:
-            raise LiteError(f"LITE {self.lite_id} is not connected to {lite_id}")
-        return self.peers[lite_id]
+    def peer(self, lite_id: int, check_alive: bool = True) -> PeerInfo:
+        """Connection state toward a LITE instance (incl. loopback).
+
+        ``check_alive=False`` bypasses the keep-alive verdict — probes
+        must still reach a peer marked dead, or it could never recover.
+        """
+        info = self.peers.get(lite_id)
+        if info is None:
+            raise LiteError(
+                f"LITE {self.lite_id} is not connected to {lite_id}",
+                errno=ENODEV,
+            )
+        if check_alive and not info.alive:
+            raise LiteError(f"LITE {lite_id} is marked dead", errno=ENODEV)
+        return info
 
     def total_qps(self) -> int:
         """QPs toward remote peers (K×(N-1)); loopback pairs excluded."""
@@ -196,7 +218,7 @@ class LiteKernel:
     # Control plane
     # ------------------------------------------------------------------
     def ctrl_send(self, dst_lite_id: int, msg: dict,
-                  ordered: bool = False) -> None:
+                  ordered: bool = False, check_alive: bool = True) -> None:
         """Fire-and-forget control SEND (non-blocking post).
 
         Messages larger than one receive slot are fragmented and
@@ -208,7 +230,8 @@ class LiteKernel:
         payload = encode_ctrl(msg)
         budget = self.params.lite_ctrl_slot_bytes - 128
         if len(payload) <= budget:
-            self._ctrl_send_raw(dst_lite_id, payload, ordered=ordered)
+            self._ctrl_send_raw(dst_lite_id, payload, ordered=ordered,
+                                check_alive=check_alive)
             return
         import base64
 
@@ -227,29 +250,74 @@ class LiteKernel:
                 "data": base64.b64encode(piece).decode(),
             }
             self._ctrl_send_raw(dst_lite_id, encode_ctrl(envelope),
-                                ordered=True)
+                                ordered=True, check_alive=check_alive)
 
     def _ctrl_send_raw(self, dst_lite_id: int, payload: bytes,
-                       ordered: bool = False) -> None:
-        peer = self.peer(dst_lite_id)
+                       ordered: bool = False, check_alive: bool = True) -> None:
+        peer = self.peer(dst_lite_id, check_alive=check_alive)
         if ordered:
             qp = peer.qps[0]
         else:
             qp = peer.qps[peer._rr % len(peer.qps)]
             peer._rr += 1
+        if qp.state == "ERROR":
+            # A past outage flushed this shared QP; LITE recycles it
+            # transparently instead of flushing new traffic forever.
+            qp.reset()
         self.node.cpu.charge("lite-ctrl", self.params.rnic_doorbell_us)
         qp.post_send(SendWR(Opcode.SEND, inline_data=payload, signaled=False))
 
-    def ctrl_request(self, dst_lite_id: int, msg: dict):
-        """Send a control request, wait for the peer's reply (generator)."""
+    def ctrl_request(self, dst_lite_id: int, msg: dict,
+                     timeout: Optional[float] = None,
+                     retries: Optional[int] = None,
+                     check_alive: bool = True):
+        """Send a control request, wait for the peer's reply (generator).
+
+        With no ``timeout`` (and fault tolerance off) this waits forever,
+        the seed behavior.  With a timeout, the same-token request is
+        resent up to ``retries`` times with doubling per-attempt windows
+        (capped at 8x); the peer suppresses duplicates via its reply
+        cache.  Raises ``LiteError(errno=ETIMEDOUT)`` on exhaustion.
+        """
+        if timeout is None and self.ctrl_timeout_us > 0:
+            timeout = self.ctrl_timeout_us
+        if retries is None:
+            retries = self.ctrl_retries
         token = next(self._token_counter)
         msg = dict(msg)
         msg["tok"] = token
         msg["src"] = self.lite_id
         event = self.sim.event()
         self._ctrl_pending[token] = event
-        self.ctrl_send(dst_lite_id, msg)
-        reply = yield event
+        if timeout is None:
+            try:
+                self.ctrl_send(dst_lite_id, msg, check_alive=check_alive)
+            except LiteError:
+                self._ctrl_pending.pop(token, None)
+                raise
+            reply = yield event
+        else:
+            window = timeout
+            for _attempt in range(max(retries, 0) + 1):
+                try:
+                    self.ctrl_send(dst_lite_id, msg, check_alive=check_alive)
+                except LiteError:
+                    self._ctrl_pending.pop(token, None)
+                    raise
+                timer = self.sim.timeout(window)
+                yield self.sim.any_of([event, timer])
+                if event.triggered:
+                    timer.cancel()
+                    break
+                window = min(window * 2, timeout * 8)
+            if not event.triggered:
+                self._ctrl_pending.pop(token, None)
+                raise LiteError(
+                    f"control request {msg.get('type')!r} to LITE "
+                    f"{dst_lite_id} timed out",
+                    errno=ETIMEDOUT,
+                )
+            reply = event.value
         if reply.get("err"):
             raise LiteError(reply["err"])
         return reply
@@ -258,7 +326,20 @@ class LiteKernel:
         reply = dict(reply)
         reply["type"] = MsgType.REPLY
         reply["tok"] = request["tok"]
-        self.ctrl_send(request["src"], reply)
+        src, tok = request.get("src"), request.get("tok")
+        if src is not None and tok is not None:
+            # Remember the reply so a retried (duplicate) request gets
+            # the same answer without re-running the handler.
+            cache = self._ctrl_reply_cache
+            cache[(src, tok)] = reply
+            while len(cache) > _CTRL_REPLY_CACHE_MAX:
+                cache.pop(next(iter(cache)))
+            self._ctrl_inflight.discard((src, tok))
+        try:
+            self.ctrl_send(request["src"], reply, check_alive=False)
+        except LiteError:
+            # Requester unreachable: it will retry or time out on its own.
+            pass
 
     # ------------------------------------------------------------------
     # The shared polling thread (one per node, §5.1/§6.1)
@@ -287,6 +368,8 @@ class LiteKernel:
                     pending = self._ctrl_pending.pop(msg["tok"], None)
                     if pending is not None:
                         pending.succeed(msg)
+                elif self._ctrl_duplicate(msg):
+                    pass  # answered from the reply cache (or still running)
                 else:
                     self.sim.process(
                         self._handle_ctrl(msg), name=f"lite{self.lite_id}-ctrl"
@@ -294,6 +377,31 @@ class LiteKernel:
             elif wc.opcode is Opcode.RECV_IMM:
                 self._post_ctrl_slot(wc.wr_id)
                 self.rpc.handle_imm(wc)
+
+    def _ctrl_duplicate(self, msg: dict) -> bool:
+        """Idempotent-retry guard for tokenized control requests.
+
+        A duplicate of an already-answered request is re-answered from
+        the reply cache (the first reply was lost); a duplicate of a
+        request whose handler is still running is dropped (the eventual
+        reply serves both copies).  Returns True when the message must
+        not be dispatched again.
+        """
+        src, tok = msg.get("src"), msg.get("tok")
+        if src is None or tok is None:
+            return False
+        key = (src, tok)
+        cached = self._ctrl_reply_cache.get(key)
+        if cached is not None:
+            try:
+                self.ctrl_send(src, cached, check_alive=False)
+            except LiteError:
+                pass
+            return True
+        if key in self._ctrl_inflight:
+            return True
+        self._ctrl_inflight.add(key)
+        return False
 
     def _reassemble(self, envelope: dict):
         """Collect fragments; returns the full message when complete."""
@@ -329,11 +437,19 @@ class LiteKernel:
             MsgType.LOCK_RELEASE: self._serve_lock_release,
             MsgType.BARRIER: self._serve_barrier,
             MsgType.USER_MSG: self._serve_user_msg,
+            MsgType.PING: self._serve_ping,
         }.get(msg["type"])
         if handler is None:
             self._ctrl_reply(msg, {"err": f"unknown control type {msg['type']!r}"})
             return
-        yield from handler(msg)
+        try:
+            yield from handler(msg)
+        except LiteError as exc:
+            # A handler tripping over failure semantics (dead peer,
+            # errored transport) must not crash the poll-spawned process;
+            # answer the requester with the error if it expects a reply.
+            if msg.get("tok") is not None and msg.get("src") is not None:
+                self._ctrl_reply(msg, {"err": str(exc)})
 
     # -- memory management services --------------------------------------
     def alloc_chunks(self, size: int):
@@ -536,3 +652,79 @@ class LiteKernel:
         self.user_inbox.put((msg["src"], base64.b64decode(msg["data"])))
         return
         yield  # pragma: no cover - generator marker
+
+    # ------------------------------------------------------------------
+    # Fault tolerance: keep-alive and retry policy
+    # ------------------------------------------------------------------
+    def _serve_ping(self, msg: dict):
+        self._ctrl_reply(msg, {"ok": True})
+        return
+        yield  # pragma: no cover - generator marker
+
+    def enable_fault_tolerance(self, ctrl_timeout_us: Optional[float] = None,
+                               ctrl_retries: Optional[int] = None) -> None:
+        """Arm the control-plane timeout/retry policy (off in the seed)."""
+        params = self.params
+        self.ctrl_timeout_us = (
+            params.lite_ctrl_timeout_us if ctrl_timeout_us is None
+            else ctrl_timeout_us
+        )
+        self.ctrl_retries = (
+            params.lite_ctrl_retries if ctrl_retries is None else ctrl_retries
+        )
+
+    @property
+    def keepalive_running(self) -> bool:
+        """True while the keep-alive prober is active."""
+        return self._keepalive is not None
+
+    def start_keepalive(self, interval_us: Optional[float] = None,
+                        miss_limit: Optional[int] = None):
+        """Start the per-node keep-alive prober (idempotent).
+
+        Every ``interval_us`` the kernel pings each remote peer with a
+        one-shot control request; ``miss_limit`` consecutive misses mark
+        the peer dead (``alive=False``, operations fail fast with
+        ENODEV), and the next successful probe resurrects it.
+        """
+        if self._keepalive is not None:
+            return self._keepalive
+        params = self.params
+        interval = (
+            params.lite_keepalive_interval_us if interval_us is None
+            else interval_us
+        )
+        if interval <= 0:
+            return None
+        limit = (
+            params.lite_keepalive_miss_limit if miss_limit is None
+            else miss_limit
+        )
+        self._keepalive = self.sim.process(
+            self._keepalive_loop(interval, max(limit, 1)),
+            name=f"lite{self.lite_id}-keepalive",
+        )
+        return self._keepalive
+
+    def _keepalive_loop(self, interval_us: float, miss_limit: int):
+        misses: Dict[int, int] = {}
+        while True:
+            yield self.sim.timeout(interval_us)
+            for lite_id in list(self.peers):
+                if lite_id == self.lite_id:
+                    continue
+                peer = self.peers.get(lite_id)
+                if peer is None:
+                    continue
+                try:
+                    yield from self.ctrl_request(
+                        lite_id, {"type": MsgType.PING},
+                        timeout=interval_us, retries=0, check_alive=False,
+                    )
+                except LiteError:
+                    misses[lite_id] = misses.get(lite_id, 0) + 1
+                    if misses[lite_id] >= miss_limit:
+                        peer.alive = False
+                    continue
+                misses[lite_id] = 0
+                peer.alive = True

@@ -50,6 +50,7 @@ class MsgType:
     BARRIER = "barrier"
     CHUNKS_UPDATE = "chunks_update"
     USER_MSG = "user_msg"
+    PING = "ping"
     REPLY = "reply"
 
 

@@ -17,13 +17,28 @@ import struct
 from typing import List
 
 from ..verbs import Opcode, SendWR, WcStatus
+from .errors import EIO, ETIMEDOUT, LiteError
 from .lmr import MappedLmr
 
 __all__ = ["OneSidedEngine", "RdmaOpError"]
 
 
-class RdmaOpError(Exception):
+class RdmaOpError(LiteError):
     """A one-sided operation completed with an error status."""
+
+    def __init__(self, message: str, errno: int = EIO):
+        super().__init__(message, errno=errno)
+
+
+# Transport statuses worth a LITE-level retry: the operation never
+# executed at the peer (retry/RNR blowout) or was flushed before the
+# wire.  Non-idempotent ops (atomics) are excluded by the caller.
+_RETRYABLE = (
+    WcStatus.RETRY_EXC_ERR,
+    WcStatus.RNR_RETRY_EXC_ERR,
+    WcStatus.WR_FLUSH_ERR,
+)
+_ATOMIC_OPS = (Opcode.FETCH_ADD, Opcode.CMP_SWAP)
 
 
 class OneSidedEngine:
@@ -36,23 +51,51 @@ class OneSidedEngine:
         self.reads = 0
         self.writes = 0
         self.atomics = 0
+        self.retried_ops = 0
+        self.async_write_failures = 0
 
     # -- helpers -----------------------------------------------------------
     def _post(self, peer_id: int, wr: SendWR, priority: int):
         """Issue one WR on a shared QP, respecting per-QP windows.
 
-        Generator; returns the completion status.
+        Generator; returns the completion status.  Transport-level
+        failures (retry blowout, flush) are retried at the LITE level
+        with exponential backoff — resetting the errored shared QP in
+        between — except for atomics, which are not idempotent.  A dead
+        peer fails fast with ENODEV; an exhausted retry budget raises
+        ``LiteError(errno=ETIMEDOUT)`` and, when keep-alive runs, marks
+        the peer dead.
         """
         kernel = self.kernel
-        peer = kernel.peer(peer_id)
-        qp, window = kernel.qos.pick_qp(peer, priority)
-        yield window.request()
-        try:
-            kernel.node.cpu.charge("lite-post", self.params.rnic_doorbell_us)
-            status = yield qp.post_send(wr)
-        finally:
-            window.release()
-        return status
+        params = self.params
+        max_retries = 0 if wr.opcode in _ATOMIC_OPS else params.lite_retry_cnt
+        backoff = params.lite_retry_backoff_us
+        attempts = 0
+        while True:
+            peer = kernel.peer(peer_id)
+            qp, window = kernel.qos.pick_qp(peer, priority)
+            yield window.request()
+            try:
+                kernel.node.cpu.charge("lite-post", params.rnic_doorbell_us)
+                status = yield qp.post_send(wr)
+            finally:
+                window.release()
+            if status not in _RETRYABLE:
+                return status
+            attempts += 1
+            if attempts > max_retries:
+                if kernel.keepalive_running:
+                    peer.alive = False
+                raise LiteError(
+                    f"one-sided {wr.opcode.value} to LITE {peer_id} failed "
+                    f"after {attempts} attempt(s): {status.value}",
+                    errno=ETIMEDOUT,
+                )
+            self.retried_ops += 1
+            if qp.state == "ERROR":
+                qp.reset()
+            yield self.sim.timeout(backoff)
+            backoff = min(backoff * 2, params.lite_retry_backoff_cap_us)
 
     def _check(self, statuses: List[WcStatus], what: str) -> None:
         for status in statuses:
@@ -201,10 +244,21 @@ class OneSidedEngine:
 
     def raw_write_async(self, peer_id: int, phys_addr: int, data: bytes,
                         imm: int = None, priority: int = 0) -> None:
-        """Fire-and-forget raw write (LITE does not poll send state, §5.1)."""
-        self.sim.process(
-            self.raw_write(
-                peer_id, phys_addr, data, imm=imm, signaled=False, priority=priority
-            ),
-            name="lite-raw-write",
-        )
+        """Fire-and-forget raw write (LITE does not poll send state, §5.1).
+
+        Nothing awaits the spawned process, so failure semantics are
+        absorbed here: a write that cannot be delivered is counted and
+        dropped (the higher-level timeout/retry machinery is the
+        recovery path), never allowed to crash the simulation.
+        """
+
+        def runner():
+            try:
+                yield from self.raw_write(
+                    peer_id, phys_addr, data, imm=imm, signaled=False,
+                    priority=priority,
+                )
+            except LiteError:
+                self.async_write_failures += 1
+
+        self.sim.process(runner(), name="lite-raw-write")

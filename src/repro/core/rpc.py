@@ -21,9 +21,11 @@ import struct
 from typing import Callable, Dict, Optional
 
 from ..sim import Store
+from .errors import EIO, ETIMEDOUT, LiteError
 from .protocol import (
     IMM_KIND_REPLY,
     IMM_KIND_REQUEST,
+    MAX_TOKEN,
     REPLY_HEADER_BYTES,
     REQ_HEADER_BYTES,
     pack_reply_imm,
@@ -33,13 +35,22 @@ from .protocol import (
 
 __all__ = ["RpcEngine", "RpcCall", "RpcTimeoutError", "RpcError"]
 
+# Bound on the duplicate-suppression reply cache (entries).
+_REPLY_CACHE_MAX = 512
 
-class RpcTimeoutError(Exception):
+
+class RpcError(LiteError):
+    """Server-side RPC failure (unknown function, reply too large...)."""
+
+    def __init__(self, message: str, errno: int = EIO):
+        super().__init__(message, errno=errno)
+
+
+class RpcTimeoutError(RpcError):
     """No reply within the failure-detection window (§5.1)."""
 
-
-class RpcError(Exception):
-    """Server-side RPC failure (unknown function, reply too large...)."""
+    def __init__(self, message: str):
+        super().__init__(message, errno=ETIMEDOUT)
 
 
 _STATUS_OK = 0
@@ -135,6 +146,13 @@ class RpcEngine:
         self.pending: Dict[int, _PendingCall] = {}
         self.calls_sent = 0
         self.calls_served = 0
+        self.calls_retried = 0
+        self.duplicates_suppressed = 0
+        # Idempotent-retry guards: (client_id, token) -> (reply_addr,
+        # reply payload) for answered calls; in-flight tokens for calls
+        # still being served.
+        self._reply_cache: Dict[tuple, tuple] = {}
+        self._inflight: set = set()
 
     # ------------------------------------------------------------------
     # Registration / binding
@@ -162,19 +180,30 @@ class RpcEngine:
         in_flight = self._binding.get(server_id)
         if in_flight is not None:
             yield in_flight
-            return self.client_rings[server_id]
+            # The binder may have failed; re-resolve (and possibly
+            # re-bind) rather than assuming the ring exists.
+            ring = yield from self._ensure_ring(server_id)
+            return ring
         gate = self.sim.event()
         self._binding[server_id] = gate
         head_region = self.kernel.node.memory.alloc(8)
         from .protocol import MsgType
 
-        reply = yield from self.kernel.ctrl_request(
-            server_id,
-            {
-                "type": MsgType.RING_BIND,
-                "head_slot_addr": head_region.addr,
-            },
-        )
+        try:
+            reply = yield from self.kernel.ctrl_request(
+                server_id,
+                {
+                    "type": MsgType.RING_BIND,
+                    "head_slot_addr": head_region.addr,
+                },
+            )
+        except BaseException:
+            # Unblock anybody who piled up behind this bind attempt
+            # before propagating; they will re-try (or fail) themselves.
+            del self._binding[server_id]
+            self.kernel.node.memory.free(head_region)
+            gate.succeed()
+            raise
         ring = _ClientRing(
             server_id,
             reply["ring_addr"],
@@ -189,38 +218,26 @@ class RpcEngine:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def call(
-        self,
-        server_id: int,
-        func_id: int,
-        input_bytes: bytes,
-        max_reply: int = 4096,
-        priority: int = 0,
-        timeout: Optional[float] = None,
-        waiter: Optional[Callable] = None,
-    ):
-        """LT_RPC kernel path (generator; returns the reply bytes)."""
-        kernel = self.kernel
-        yield from kernel.qos.gate(priority)
-        call_start = self.sim.now
-        ring = yield from self._ensure_ring(server_id)
-        msg_len = REQ_HEADER_BYTES + len(input_bytes)
-        if msg_len > ring.size:
-            raise ValueError(f"RPC input of {len(input_bytes)} B exceeds ring size")
-        # Flow control: wait for the server's head-pointer updates.
+    def _append_request(self, ring, server_id: int, func_id: int,
+                        payload: bytes, msg_len: int, priority: int,
+                        deadline: Optional[float]):
+        """Land one request copy in the server's ring (generator).
+
+        Flow control waits for the server's head-pointer updates; with a
+        ``deadline`` the wait is bounded (a dead server stops advancing
+        its head, and waiting forever would turn a crash into a hang).
+        """
         while ring.free_space() < msg_len:
+            if deadline is not None and self.sim.now >= deadline:
+                raise RpcTimeoutError(
+                    f"RPC to LITE {server_id}: ring full and server "
+                    f"head pointer stalled"
+                )
             yield self.sim.timeout(1.0)
-        token = next(self._token_counter) & ((1 << 30) - 1)
-        reply_region = kernel.node.memory.alloc(REPLY_HEADER_BYTES + max_reply)
-        header = struct.pack(
-            "<QIII", reply_region.addr, token, len(input_bytes), max_reply
-        )
-        payload = header + input_bytes
         pos = ring.tail_virtual % ring.size
         ring.tail_virtual += msg_len
-        pending = _PendingCall(self.sim.event(), reply_region, token)
-        self.pending[token] = pending
         imm = pack_request_imm(func_id, pos)
+        kernel = self.kernel
         first_len = min(ring.size - pos, msg_len)
         if first_len < msg_len:
             # Wraps the physical end: land the first piece before the
@@ -238,28 +255,94 @@ class RpcEngine:
                 server_id, ring.ring_addr + pos, payload, imm=imm,
                 priority=priority,
             )
-        self.calls_sent += 1
-        # Wait for the reply write-imm; send state is never polled (§5.1).
-        wait_target = pending.event
-        if timeout is not None:
-            wait_target = self.sim.any_of(
-                [pending.event, self.sim.timeout(timeout)]
+
+    def call(
+        self,
+        server_id: int,
+        func_id: int,
+        input_bytes: bytes,
+        max_reply: int = 4096,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        waiter: Optional[Callable] = None,
+    ):
+        """LT_RPC kernel path (generator; returns the reply bytes).
+
+        With a ``timeout``, up to ``retries`` same-token resends follow
+        the first attempt, each with a doubled wait window (capped at
+        8x); the server's reply cache makes retries idempotent.  Without
+        a timeout the call waits forever (seed behavior).
+        """
+        kernel = self.kernel
+        yield from kernel.qos.gate(priority)
+        call_start = self.sim.now
+        ring = yield from self._ensure_ring(server_id)
+        msg_len = REQ_HEADER_BYTES + len(input_bytes)
+        if msg_len > ring.size:
+            raise ValueError(f"RPC input of {len(input_bytes)} B exceeds ring size")
+        token = next(self._token_counter) & MAX_TOKEN
+        reply_region = kernel.node.memory.alloc(REPLY_HEADER_BYTES + max_reply)
+        header = struct.pack(
+            "<QIII", reply_region.addr, token, len(input_bytes), max_reply
+        )
+        payload = header + input_bytes
+        pending = _PendingCall(self.sim.event(), reply_region, token)
+        self.pending[token] = pending
+        attempts = 1 if timeout is None else max(retries, 0) + 1
+        try:
+            window = timeout
+            for attempt in range(attempts):
+                deadline = None if timeout is None else self.sim.now + window
+                sent = True
+                try:
+                    yield from self._append_request(
+                        ring, server_id, func_id, payload, msg_len, priority,
+                        deadline,
+                    )
+                except LiteError:
+                    # Transport refused outright (dead peer, stalled
+                    # ring): burn this attempt, back off, try again.
+                    sent = False
+                if attempt == 0:
+                    self.calls_sent += 1
+                else:
+                    self.calls_retried += 1
+                # Wait for the reply write-imm; send state is never
+                # polled (§5.1).
+                if timeout is None:
+                    if waiter is None:
+                        yield pending.event
+                    else:
+                        yield from waiter(pending.event)
+                elif sent:
+                    timer = self.sim.timeout(
+                        max(deadline - self.sim.now, 0.0)
+                    )
+                    wait_target = self.sim.any_of([pending.event, timer])
+                    if waiter is None:
+                        yield wait_target
+                    else:
+                        yield from waiter(wait_target)
+                    if pending.event.triggered:
+                        timer.cancel()
+                elif self.sim.now < deadline:
+                    yield self.sim.timeout(deadline - self.sim.now)
+                if pending.event.triggered:
+                    break
+                window = min(window * 2, timeout * 8)
+            if not pending.event.triggered:
+                raise RpcTimeoutError(
+                    f"RPC {func_id} to LITE {server_id}: no reply after "
+                    f"{attempts} attempt(s) ({timeout} us base window)"
+                )
+            status, length = struct.unpack(
+                "<II", reply_region.read(0, REPLY_HEADER_BYTES)
             )
-        if waiter is None:
-            yield wait_target
-        else:
-            yield from waiter(wait_target)
-        if not pending.event.triggered:
+            data = reply_region.read(REPLY_HEADER_BYTES, length) if length else b""
+        finally:
             self.pending.pop(token, None)
             kernel.node.memory.free(reply_region)
-            raise RpcTimeoutError(
-                f"RPC {func_id} to LITE {server_id}: no reply in {timeout} us"
-            )
-        status, length = struct.unpack(
-            "<II", reply_region.read(0, REPLY_HEADER_BYTES)
-        )
-        data = reply_region.read(REPLY_HEADER_BYTES, length) if length else b""
-        kernel.node.memory.free(reply_region)
         if status == _STATUS_NO_FUNC:
             raise RpcError(f"no RPC function {func_id} at LITE {server_id}")
         if status == _STATUS_REPLY_TOO_BIG:
@@ -295,6 +378,22 @@ class RpcEngine:
             ring.client_head_slot_addr,
             struct.pack("<Q", ring.head_virtual),
         )
+        # Same-token duplicate (a client retry that crossed our reply or
+        # arrived while the handler still runs) must not invoke the
+        # handler twice: answer from the reply cache or drop it.
+        key = (client_id, token)
+        cached = self._reply_cache.get(key)
+        if cached is not None:
+            cached_addr, cached_payload = cached
+            self.duplicates_suppressed += 1
+            self.kernel.onesided.raw_write_async(
+                client_id, cached_addr, cached_payload,
+                imm=pack_reply_imm(token),
+            )
+            return
+        if key in self._inflight:
+            self.duplicates_suppressed += 1
+            return
         call = RpcCall(
             func_id, client_id, input_bytes, reply_addr, token, max_reply,
             self.sim.now,
@@ -302,12 +401,21 @@ class RpcEngine:
         store = self.funcs.get(func_id)
         if store is None:
             # Unknown function: error reply straight from the kernel.
+            payload = struct.pack("<II", _STATUS_NO_FUNC, 0)
+            self._cache_reply(key, reply_addr, payload)
             self.kernel.onesided.raw_write_async(
-                client_id, reply_addr, struct.pack("<II", _STATUS_NO_FUNC, 0),
-                imm=pack_reply_imm(token),
+                client_id, reply_addr, payload, imm=pack_reply_imm(token),
             )
             return
+        self._inflight.add(key)
         store.put(call)
+
+    def _cache_reply(self, key: tuple, reply_addr: int, payload: bytes) -> None:
+        """Remember a reply for duplicate suppression (bounded LRU-ish)."""
+        self._inflight.discard(key)
+        while len(self._reply_cache) >= _REPLY_CACHE_MAX:
+            self._reply_cache.pop(next(iter(self._reply_cache)))
+        self._reply_cache[key] = (reply_addr, payload)
 
     def _handle_reply(self, token: int) -> None:
         pending = self.pending.pop(token, None)
@@ -340,15 +448,12 @@ class RpcEngine:
         call.replied = True
         yield self.sim.timeout(self.params.lite_reply_stack_us)
         self.kernel.node.cpu.charge("lite-rpc-reply", self.params.lite_reply_stack_us)
+        key = (call.client_id, call.token)
         if len(data) > call.max_reply:
-            self.kernel.onesided.raw_write_async(
-                call.client_id,
-                call.reply_addr,
-                struct.pack("<II", _STATUS_REPLY_TOO_BIG, 0),
-                imm=pack_reply_imm(call.token),
-            )
-            return
-        payload = struct.pack("<II", _STATUS_OK, len(data)) + data
+            payload = struct.pack("<II", _STATUS_REPLY_TOO_BIG, 0)
+        else:
+            payload = struct.pack("<II", _STATUS_OK, len(data)) + data
+        self._cache_reply(key, call.reply_addr, payload)
         self.kernel.onesided.raw_write_async(
             call.client_id, call.reply_addr, payload, imm=pack_reply_imm(call.token)
         )

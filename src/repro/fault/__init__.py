@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the simulated cluster.
+
+Build a :class:`FaultPlan` (or derive one from a seed with
+:meth:`FaultPlan.random`), then ``FaultInjector(cluster, plan,
+seed).install()`` before running the workload.  See
+``docs/INTERNALS.md`` ("Failure model") for the end-to-end semantics.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultPlan, LinkDown, LinkFlap, NodeCrash, PacketLoss
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "NodeCrash",
+    "LinkDown",
+    "LinkFlap",
+    "PacketLoss",
+]

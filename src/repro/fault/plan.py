@@ -1,0 +1,263 @@
+"""Declarative fault plans: *what* goes wrong and *when*.
+
+A :class:`FaultPlan` is pure data — a schedule of node crashes, link
+outages/flaps and packet-loss windows over absolute simulated time (in
+microseconds, like everything else).  The :class:`~repro.fault.injector.
+FaultInjector` turns a plan into live simulator processes.
+
+Plans are deterministic by construction: :meth:`FaultPlan.random`
+derives every choice from an explicit seed, so a chaos run can be
+replayed bit-for-bit from ``(workload seed, fault seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+__all__ = ["NodeCrash", "LinkDown", "LinkFlap", "PacketLoss", "FaultPlan"]
+
+
+class NodeCrash:
+    """Fail-stop a node at ``at_us``; optionally restart it later.
+
+    The crash is modelled as the node's NIC going dark (its fabric link
+    drops, peers see retry blowouts / timeouts).  On restart the link
+    returns and the node resumes with its memory intact — i.e. the
+    distinction between a crash-recover and a long partition is left to
+    the layers above, matching the paper's §3.3 observation that LITE's
+    cluster state is reconstructible metadata.
+    """
+
+    __slots__ = ("node_id", "at_us", "restart_at_us")
+
+    def __init__(self, node_id: int, at_us: float,
+                 restart_at_us: Optional[float] = None):
+        if at_us < 0:
+            raise ValueError(f"crash time must be >= 0, got {at_us}")
+        if restart_at_us is not None and restart_at_us <= at_us:
+            raise ValueError(
+                f"restart ({restart_at_us}) must come after the crash ({at_us})"
+            )
+        self.node_id = node_id
+        self.at_us = float(at_us)
+        self.restart_at_us = None if restart_at_us is None else float(restart_at_us)
+
+    def __repr__(self) -> str:
+        tail = "" if self.restart_at_us is None else f", restart@{self.restart_at_us}"
+        return f"NodeCrash(node {self.node_id} @{self.at_us}{tail})"
+
+
+class LinkDown:
+    """Take one node's link down at ``at_us``; optionally back up later."""
+
+    __slots__ = ("node_id", "at_us", "up_at_us")
+
+    def __init__(self, node_id: int, at_us: float,
+                 up_at_us: Optional[float] = None):
+        if at_us < 0:
+            raise ValueError(f"link-down time must be >= 0, got {at_us}")
+        if up_at_us is not None and up_at_us <= at_us:
+            raise ValueError(
+                f"link-up ({up_at_us}) must come after link-down ({at_us})"
+            )
+        self.node_id = node_id
+        self.at_us = float(at_us)
+        self.up_at_us = None if up_at_us is None else float(up_at_us)
+
+    def __repr__(self) -> str:
+        tail = "" if self.up_at_us is None else f", up@{self.up_at_us}"
+        return f"LinkDown(node {self.node_id} @{self.at_us}{tail})"
+
+
+class LinkFlap:
+    """Periodically bounce a link between ``start_us`` and ``end_us``.
+
+    Each cycle holds the link down for ``down_us`` then up for ``up_us``.
+    The link is always restored when the window ends.
+    """
+
+    __slots__ = ("node_id", "start_us", "end_us", "down_us", "up_us")
+
+    def __init__(self, node_id: int, start_us: float, end_us: float,
+                 down_us: float, up_us: float):
+        if start_us < 0 or end_us <= start_us:
+            raise ValueError(
+                f"flap window must satisfy 0 <= start < end, "
+                f"got [{start_us}, {end_us})"
+            )
+        if down_us <= 0 or up_us <= 0:
+            raise ValueError("flap down/up durations must be positive")
+        self.node_id = node_id
+        self.start_us = float(start_us)
+        self.end_us = float(end_us)
+        self.down_us = float(down_us)
+        self.up_us = float(up_us)
+
+    def __repr__(self) -> str:
+        return (f"LinkFlap(node {self.node_id} [{self.start_us}, {self.end_us}) "
+                f"down {self.down_us}/up {self.up_us})")
+
+
+class PacketLoss:
+    """Drop each matching transfer with probability ``rate``.
+
+    Matches transfers whose simulated time falls in ``[start_us,
+    end_us)`` (``end_us=None`` = forever) and whose endpoints match the
+    optional ``src``/``dst`` filters (``None`` = any).  Frame corruption
+    is folded in here: on real IB the receiver's ICRC check discards a
+    corrupted packet, which the sender observes exactly as loss.
+    """
+
+    __slots__ = ("rate", "start_us", "end_us", "src", "dst")
+
+    def __init__(self, rate: float, start_us: float = 0.0,
+                 end_us: Optional[float] = None,
+                 src: Optional[int] = None, dst: Optional[int] = None):
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"loss rate must be in (0, 1], got {rate}")
+        if start_us < 0:
+            raise ValueError(f"loss window start must be >= 0, got {start_us}")
+        if end_us is not None and end_us <= start_us:
+            raise ValueError(
+                f"loss window end ({end_us}) must come after start ({start_us})"
+            )
+        self.rate = float(rate)
+        self.start_us = float(start_us)
+        self.end_us = None if end_us is None else float(end_us)
+        self.src = src
+        self.dst = dst
+
+    def matches(self, now: float, src: int, dst: int) -> bool:
+        """True when this rule applies to a transfer happening ``now``."""
+        if now < self.start_us:
+            return False
+        if self.end_us is not None and now >= self.end_us:
+            return False
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        window = f"[{self.start_us}, {'inf' if self.end_us is None else self.end_us})"
+        pair = f"{'any' if self.src is None else self.src}->" \
+               f"{'any' if self.dst is None else self.dst}"
+        return f"PacketLoss({self.rate:.2%} {pair} {window})"
+
+
+class FaultPlan:
+    """An ordered collection of fault events (builder-style API)."""
+
+    def __init__(self):
+        self.crashes: List[NodeCrash] = []
+        self.link_downs: List[LinkDown] = []
+        self.flaps: List[LinkFlap] = []
+        self.losses: List[PacketLoss] = []
+
+    # -- builders (chainable) ------------------------------------------
+    def crash(self, node_id: int, at_us: float,
+              restart_at_us: Optional[float] = None) -> "FaultPlan":
+        """Schedule a fail-stop crash (optionally with a restart)."""
+        self.crashes.append(NodeCrash(node_id, at_us, restart_at_us))
+        return self
+
+    def link_down(self, node_id: int, at_us: float,
+                  up_at_us: Optional[float] = None) -> "FaultPlan":
+        """Schedule a link outage (optionally healing later)."""
+        self.link_downs.append(LinkDown(node_id, at_us, up_at_us))
+        return self
+
+    def link_flap(self, node_id: int, start_us: float, end_us: float,
+                  down_us: float, up_us: float) -> "FaultPlan":
+        """Schedule a flapping link over ``[start_us, end_us)``."""
+        self.flaps.append(LinkFlap(node_id, start_us, end_us, down_us, up_us))
+        return self
+
+    def packet_loss(self, rate: float, start_us: float = 0.0,
+                    end_us: Optional[float] = None,
+                    src: Optional[int] = None,
+                    dst: Optional[int] = None) -> "FaultPlan":
+        """Add a probabilistic loss window (optionally per-flow)."""
+        self.losses.append(PacketLoss(rate, start_us, end_us, src, dst))
+        return self
+
+    # -- introspection -------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (self.crashes or self.link_downs or self.flaps or self.losses)
+
+    def node_ids(self) -> set:
+        """Every node id the plan references."""
+        ids = {c.node_id for c in self.crashes}
+        ids.update(d.node_id for d in self.link_downs)
+        ids.update(f.node_id for f in self.flaps)
+        for rule in self.losses:
+            if rule.src is not None:
+                ids.add(rule.src)
+            if rule.dst is not None:
+                ids.add(rule.dst)
+        return ids
+
+    def validate(self, known_node_ids: Sequence[int]) -> None:
+        """Raise ``ValueError`` if the plan references unknown nodes."""
+        known = set(known_node_ids)
+        unknown = self.node_ids() - known
+        if unknown:
+            raise ValueError(
+                f"fault plan references unknown node(s) {sorted(unknown)}; "
+                f"cluster has {sorted(known)}"
+            )
+
+    def describe(self) -> str:
+        """Human-readable one-event-per-line summary."""
+        if self.empty:
+            return "(empty plan)"
+        lines = [repr(event) for event in
+                 (*self.crashes, *self.link_downs, *self.flaps, *self.losses)]
+        return "\n".join(lines)
+
+    # -- randomized plans ----------------------------------------------
+    @classmethod
+    def random(cls, seed: int, node_ids: Sequence[int], duration_us: float,
+               crashes: int = 1, flaps: int = 0, loss_rate: float = 0.0,
+               restart: bool = True, spare: Optional[int] = None) -> "FaultPlan":
+        """A reproducible randomized plan over ``duration_us``.
+
+        ``crashes`` nodes fail (restarting mid-run when ``restart``),
+        ``flaps`` further nodes get a flapping link, and ``loss_rate``
+        (when > 0) applies uniform loss to all traffic.  ``spare``
+        excludes one node (e.g. a server every client depends on) from
+        crash/flap victim selection.  Identical arguments always yield
+        an identical plan.
+        """
+        rng = random.Random(seed)
+        plan = cls()
+        victims = [n for n in node_ids if n != spare]
+        rng.shuffle(victims)
+        needed = crashes + flaps
+        if needed > len(victims):
+            raise ValueError(
+                f"plan wants {needed} distinct victims but only "
+                f"{len(victims)} nodes are eligible"
+            )
+        for node_id in victims[:crashes]:
+            at = rng.uniform(0.1, 0.5) * duration_us
+            restart_at = at + rng.uniform(0.1, 0.3) * duration_us if restart else None
+            plan.crash(node_id, at, restart_at)
+        for node_id in victims[crashes:needed]:
+            start = rng.uniform(0.1, 0.4) * duration_us
+            end = start + rng.uniform(0.2, 0.4) * duration_us
+            down = rng.uniform(0.005, 0.02) * duration_us
+            up = rng.uniform(0.02, 0.08) * duration_us
+            plan.link_flap(node_id, start, end, down, up)
+        if loss_rate > 0.0:
+            plan.packet_loss(loss_rate)
+        return plan
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan({len(self.crashes)} crashes, "
+                f"{len(self.link_downs)} link-downs, {len(self.flaps)} flaps, "
+                f"{len(self.losses)} loss rules)")

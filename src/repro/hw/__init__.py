@@ -2,7 +2,7 @@
 
 from .caches import CacheStats, LruCache
 from .cpu import CpuSet
-from .fabric import Fabric, Port
+from .fabric import Fabric, FabricError, LinkDownError, Port, TransferDropped
 from .memory import HostMemory, OutOfMemoryError, PhysRegion
 from .params import DEFAULT_PARAMS, SimParams
 from .rnic import Rnic
@@ -17,6 +17,9 @@ __all__ = [
     "OutOfMemoryError",
     "CpuSet",
     "Fabric",
+    "FabricError",
+    "TransferDropped",
+    "LinkDownError",
     "Port",
     "Rnic",
 ]

@@ -4,16 +4,41 @@ Transfers model cut-through switching: a message occupies the sender's
 egress link and the receiver's ingress link for its serialization time
 (enforcing the 5 GB/s ceiling at both endpoints and under incast), and
 additionally pays the fixed propagation + switch latency.
+
+Failure model: each port carries an ``up`` flag, and the fabric accepts
+an optional ``fault`` hook (see :mod:`repro.fault`) consulted once per
+non-loopback transfer.  A transfer that crosses a downed link or is
+selected for loss still pays its serialization + propagation time (the
+bytes leave the sender and die in the fabric, exactly like a packet
+blackholed at a dead port) and then raises :class:`TransferDropped`, so
+transport layers above can model IB retransmission timers.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..sim import FairResource, Simulator
 from .params import SimParams
 
-__all__ = ["Port", "Fabric"]
+__all__ = ["Port", "Fabric", "FabricError", "TransferDropped", "LinkDownError"]
+
+
+class FabricError(ValueError):
+    """Invalid use of the fabric API (unknown node, bad size, ...)."""
+
+
+class TransferDropped(Exception):
+    """The fabric dropped this transfer (loss window or corrupted frame).
+
+    Corruption is folded into loss: on real IB the ICRC check discards a
+    corrupted packet at the receiver, which the sender observes exactly
+    as loss.
+    """
+
+
+class LinkDownError(TransferDropped):
+    """The transfer crossed a link that is administratively/physically down."""
 
 
 class Port:
@@ -26,6 +51,7 @@ class Port:
         self.rx = FairResource(sim, capacity=1)
         self.tx_bytes = 0
         self.rx_bytes = 0
+        self.up = True
 
 
 class Fabric:
@@ -41,12 +67,44 @@ class Fabric:
         self.nodes: Dict[int, object] = {}
         self.total_bytes = 0
         self.transfer_count = 0
+        self.dropped_transfers = 0
+        # Optional fault hook with a should_drop(src, dst, nbytes, flow)
+        # method; None (the default) keeps the fabric on the exact
+        # fault-free fast path.
+        self.fault = None
 
     def attach(self, node_id: int) -> Port:
         """Connect a node to the switch; returns its full-duplex port."""
         if node_id in self.ports:
-            raise ValueError(f"node {node_id} already attached to fabric")
+            raise FabricError(f"node {node_id} already attached to fabric")
         port = self.ports[node_id] = Port(self.sim, node_id)
+        return port
+
+    def detach(self, node_id: int) -> None:
+        """Unplug a node's port permanently (no restart possible).
+
+        Later transfers touching the node raise :class:`FabricError`.
+        For a *recoverable* outage use :meth:`set_link_state` instead —
+        QPs keep their peer references and can retry once the link
+        returns.
+        """
+        self._require_port(node_id)
+        del self.ports[node_id]
+        self.nodes.pop(node_id, None)
+
+    def set_link_state(self, node_id: int, up: bool) -> None:
+        """Bring a node's link up or down (both TX and RX directions)."""
+        self._require_port(node_id).up = up
+
+    def link_up(self, node_id: int) -> bool:
+        """True when the node's link is attached and up."""
+        port = self.ports.get(node_id)
+        return port is not None and port.up
+
+    def _require_port(self, node_id: int) -> Port:
+        port = self.ports.get(node_id)
+        if port is None:
+            raise FabricError(f"node {node_id} is not attached to the fabric")
         return port
 
     def transfer(self, src: int, dst: int, nbytes: int, flow: object = None):
@@ -57,30 +115,55 @@ class Fabric:
         backlogged flows share links fairly).  Loopback (src == dst)
         short-circuits the wire but still pays a minimal PCIe round
         through the NIC, matching how Verbs loopback behaves.
+
+        Raises :class:`LinkDownError` / :class:`TransferDropped` after
+        paying the wire time when the transfer cannot be delivered.
         """
-        if src not in self.ports or dst not in self.ports:
-            raise ValueError(f"transfer between unattached nodes {src}->{dst}")
+        src_port = self._require_port(src)
+        dst_port = self._require_port(dst)
         if nbytes < 0:
-            raise ValueError(f"negative transfer size: {nbytes}")
+            raise FabricError(f"negative transfer size: {nbytes}")
         params = self.params
         serialization = params.wire_time(nbytes)
         self.total_bytes += nbytes
         self.transfer_count += 1
         if src == dst:
+            if not src_port.up:
+                self.dropped_transfers += 1
+                raise LinkDownError(f"node {src} link is down")
             yield self.sim.timeout(serialization + params.link_propagation_us)
+            src_port.tx_bytes += nbytes
+            src_port.rx_bytes += nbytes
             return
-        src_port, dst_port = self.ports[src], self.ports[dst]
+        if not src_port.up:
+            # The sender's own link is dead: the NIC sees it immediately,
+            # nothing is serialized.
+            self.dropped_transfers += 1
+            raise LinkDownError(f"node {src} link is down")
+        dropped = not dst_port.up
+        if not dropped and self.fault is not None:
+            dropped = self.fault.should_drop(src, dst, nbytes, flow)
         src_port.tx_bytes += nbytes
-        dst_port.rx_bytes += nbytes
         # Acquire egress then ingress (fixed order; a transfer waits on at
         # most one resource while holding the other, so no cycles).
         yield src_port.tx.request(flow)
         try:
-            yield dst_port.rx.request(flow)
-            try:
+            if dropped:
+                # The frame still serializes out of the sender, then dies
+                # in the fabric; it never contends for the receiver.
                 yield self.sim.timeout(serialization)
-            finally:
-                dst_port.rx.release()
+            else:
+                yield dst_port.rx.request(flow)
+                try:
+                    yield self.sim.timeout(serialization)
+                finally:
+                    dst_port.rx.release()
         finally:
             src_port.tx.release()
         yield self.sim.timeout(params.one_way_fabric_us())
+        if dropped:
+            self.dropped_transfers += 1
+            if not dst_port.up:
+                raise LinkDownError(f"node {dst} link is down")
+            raise TransferDropped(f"transfer {src}->{dst} dropped by fault plan")
+        dst_port.rx_bytes += nbytes

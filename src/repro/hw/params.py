@@ -89,6 +89,24 @@ class SimParams:
     lite_rpc_timeout_us: float = 1_000_000.0     # RPC failure detection
     lite_reply_pool_bytes: int = 16 * MB         # client reply-slot pool
 
+    # ---- failure handling (transport + LITE fault tolerance) ---------
+    # IB qp_attr knobs: local ACK timeout per retransmit attempt, retry
+    # budget, and receiver-not-ready policy (rnr_retry=7 means "retry
+    # forever", the IB spec sentinel and the common datacenter setting).
+    qp_timeout_us: float = 500.0                 # ACK timeout per attempt
+    qp_retry_cnt: int = 7                        # transport retries (RC)
+    qp_rnr_retry: int = 7                        # 7 = infinite (IB spec)
+    qp_rnr_timer_us: float = 100.0               # wait between RNR retries
+    # LITE-level retry/timeout policy (applies when fault tolerance is
+    # enabled; 0 timeouts keep the seed's wait-forever behavior).
+    lite_retry_cnt: int = 3                      # LITE-level op retries
+    lite_retry_backoff_us: float = 500.0         # base exponential backoff
+    lite_retry_backoff_cap_us: float = 8000.0    # backoff ceiling
+    lite_ctrl_timeout_us: float = 4000.0         # ctrl RPC round trip bound
+    lite_ctrl_retries: int = 3                   # ctrl-plane resend budget
+    lite_keepalive_interval_us: float = 0.0      # 0 = keepalive off
+    lite_keepalive_miss_limit: int = 3           # misses before dead
+
     # ---- TCP/IP over IB (IPoIB) --------------------------------------
     tcp_stack_tx_us: float = 6.0                 # per-send kernel TCP path
     tcp_stack_rx_us: float = 7.0                 # per-recv incl. softirq

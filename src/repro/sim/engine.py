@@ -53,6 +53,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         self._defused = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -101,6 +102,26 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so it does not crash the run."""
         self._defused = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancel() was called before the callbacks ran."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event: its callbacks never run.
+
+        The main use is retiring the loser of a timeout-vs-completion
+        race (``AnyOf([reply, timeout])``): cancelling the pending timer
+        keeps long retry deadlines from pinning the event heap.  A
+        cancelled event stays lazily in the heap and is discarded when
+        it reaches the front.  No-op on an already-processed event.
+        Cancelling an event that a process is directly waiting on leaves
+        that process parked forever — only cancel events nobody waits on.
+        """
+        if self.callbacks is None:
+            return
+        self._cancelled = True
 
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -261,10 +282,13 @@ class AllOf(_Condition):
     """Fires when every constituent event has fired."""
 
     def _observe(self, event: Event) -> None:
+        if event._ok is False:
+            # Defuse even when the condition already fired: a second
+            # concurrent failure must not crash the run.
+            event._defused = True
         if self.triggered:
             return
         if event._ok is False:
-            event._defused = True
             self.fail(event._value)
             return
         self._pending -= 1
@@ -284,10 +308,12 @@ class AnyOf(_Condition):
     """Fires when the first constituent event fires."""
 
     def _observe(self, event: Event) -> None:
+        if event._ok is False:
+            # Losers failing after the race resolved must not crash.
+            event._defused = True
         if self.triggered:
             return
         if event._ok is False:
-            event._defused = True
             self.fail(event._value)
             return
         self.succeed(self._results())
@@ -337,8 +363,17 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- execution ------------------------------------------------------
+    def _prune(self) -> None:
+        """Discard cancelled events sitting at the front of the heap."""
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+
     def step(self) -> None:
         """Pop and execute the next scheduled event."""
+        self._prune()
+        if not self._heap:
+            return
         when, _seq, event = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("time went backwards")
@@ -347,6 +382,7 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        self._prune()
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: Optional[float] = None, stop: Optional[Event] = None):

@@ -240,12 +240,20 @@ class Device:
             cost += rnic.key_lookup_cost(rkey)
             cost += rnic.pte_lookup_cost(mr.page_ids(offset, len(payload)))
             yield from rnic.process(cost, dma_bytes=len(payload))
-            mr.write(offset, payload)
+            try:
+                mr.write(offset, payload)
+            except ValueError:
+                # Physical-MR access to memory that is no longer a live
+                # allocation (e.g. a reply landing after the client freed
+                # its slot): NAK like real hardware, don't crash.
+                return WcStatus.REM_ACCESS_ERR, 0, b""
             if opcode is Opcode.WRITE_IMM:
-                yield from self._deliver_recv(
+                status = yield from self._deliver_recv(
                     dst_qpn, src_node, src_qpn, b"", imm, Opcode.RECV_IMM,
                     byte_len=len(payload),
                 )
+                if status is WcStatus.RNR_RETRY_EXC_ERR:
+                    return status, 0, b""
             return WcStatus.SUCCESS, len(payload), b""
 
         if opcode is Opcode.READ:
@@ -259,7 +267,10 @@ class Device:
             cost += rnic.key_lookup_cost(rkey)
             cost += rnic.pte_lookup_cost(mr.page_ids(offset, length))
             yield from rnic.process(cost, dma_bytes=length)
-            return WcStatus.SUCCESS, length, mr.read(offset, length)
+            try:
+                return WcStatus.SUCCESS, length, mr.read(offset, length)
+            except ValueError:
+                return WcStatus.REM_ACCESS_ERR, 0, b""
 
         if opcode in (Opcode.FETCH_ADD, Opcode.CMP_SWAP):
             mr, status = self._resolve_remote(rkey, remote_addr, 8, Access.REMOTE_ATOMIC)
@@ -272,7 +283,10 @@ class Device:
             yield from rnic.process(cost, dma_bytes=8)
             # Read-modify-write with no intervening yield: atomic in the
             # event loop, like the RNIC's atomic execution unit.
-            old = struct.unpack("<Q", mr.read(offset, 8))[0]
+            try:
+                old = struct.unpack("<Q", mr.read(offset, 8))[0]
+            except ValueError:
+                return WcStatus.REM_ACCESS_ERR, 0, b""
             if opcode is Opcode.FETCH_ADD:
                 new = (old + compare_add) % (1 << 64)
             else:
@@ -304,6 +318,19 @@ class Device:
         qp = self.qps.get(dst_qpn)
         if qp is None:
             return WcStatus.REM_INV_REQ_ERR
+        if qp.rnr_retry < 7:
+            # Bounded receiver-not-ready policy: NAK + rnr_timer wait per
+            # attempt, giving up after rnr_retry retries.  The default
+            # (7) is the IB "retry forever" sentinel, which keeps the
+            # seed's block-until-posted behavior.
+            tries = 0
+            while qp._rq_len() == 0:
+                tries += 1
+                if tries > qp.rnr_retry:
+                    qp.rnr_stalls += 1
+                    return WcStatus.RNR_RETRY_EXC_ERR
+                qp.rnr_stalls += 1
+                yield self.sim.timeout(self.params.qp_rnr_timer_us)
         recv_wr: RecvWR = yield qp._rq_get()
         status = WcStatus.SUCCESS
         if payload:

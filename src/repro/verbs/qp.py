@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from ..hw.fabric import TransferDropped
 from ..sim import Process, Resource, Simulator, Store
 from .wr import (
     ACK_BYTES,
@@ -89,6 +90,15 @@ class QueuePair:
         self.posted_sends = 0
         self.posted_recvs = 0
         self.rnr_stalls = 0
+        self.retries = 0
+        # Collapsed IB state machine: the RESET->INIT->RTR->RTS ladder is
+        # folded into "RTS" (connection setup cost is paid elsewhere);
+        # what matters for failure semantics is RTS vs ERROR.
+        self.state = "RTS"
+        params = device.params
+        self.timeout_us = params.qp_timeout_us
+        self.retry_cnt = params.qp_retry_cnt
+        self.rnr_retry = params.qp_rnr_retry
 
     # -- connection -----------------------------------------------------
     def connect(self, remote_node_id: int, remote_qpn: int) -> None:
@@ -96,6 +106,29 @@ class QueuePair:
         if self.qp_type == "UD":
             raise ValueError("UD QPs are connectionless")
         self.remote = (remote_node_id, remote_qpn)
+
+    def modify_qp(self, timeout_us: Optional[float] = None,
+                  retry_cnt: Optional[int] = None,
+                  rnr_retry: Optional[int] = None) -> None:
+        """Adjust the transport retry attributes (ibv_modify_qp subset)."""
+        if timeout_us is not None:
+            self.timeout_us = timeout_us
+        if retry_cnt is not None:
+            self.retry_cnt = retry_cnt
+        if rnr_retry is not None:
+            self.rnr_retry = rnr_retry
+
+    def reset(self) -> None:
+        """Recover an errored QP (RESET -> ... -> RTS cycle, collapsed).
+
+        WRs posted while the QP sat in ERROR have already flushed; the
+        connection itself (peer addressing) is retained, as LITE re-uses
+        its shared QPs after recovery rather than re-handshaking.
+        """
+        self.state = "RTS"
+
+    def _enter_error(self) -> None:
+        self.state = "ERROR"
 
     # -- receive side ----------------------------------------------------
     def post_recv(self, wr: RecvWR) -> None:
@@ -111,6 +144,9 @@ class QueuePair:
         if len(source) == 0:
             self.rnr_stalls += 1
         return source.get()
+
+    def _rq_len(self) -> int:
+        return len(self.srq if self.srq is not None else self._own_rq)
 
     # -- send side ---------------------------------------------------------
     def post_send(self, wr: SendWR, dst: Optional[Tuple[int, int]] = None) -> Process:
@@ -172,6 +208,31 @@ class QueuePair:
             cost += rnic.pte_lookup_cost(sge.mr.page_ids(sge.offset, sge.length))
         return cost
 
+    def _transfer_retry(self, fabric, src: int, dst: int, nbytes: int):
+        """One wire leg with RC retransmission (generator).
+
+        Returns ``"ok"`` on delivery, ``"lost"`` for unacked transports
+        (UC/UD: the sender never learns), or ``"error"`` when an RC QP
+        exhausts ``retry_cnt`` — the QP enters the ERROR state, as per
+        the IB spec.  Each failed RC attempt waits the local ACK timeout
+        before retransmitting.
+        """
+        reliable = self.qp_type == "RC"
+        attempts = 0
+        while True:
+            try:
+                yield from fabric.transfer(src, dst, nbytes, flow=self.qpn)
+                return "ok"
+            except TransferDropped:
+                if not reliable:
+                    return "lost"
+                attempts += 1
+                if attempts > self.retry_cnt:
+                    self._enter_error()
+                    return "error"
+                self.retries += 1
+                yield self.sim.timeout(self.timeout_us)
+
     def _execute(self, wr: SendWR, dst: Tuple[int, int], predecessor=None):
         sim, params = self.sim, self.device.params
         fabric = self.device.node.fabric
@@ -179,87 +240,19 @@ class QueuePair:
         dst_node, dst_qpn = dst
 
         yield self._sq_slots.request()
+        status = WcStatus.WR_FLUSH_ERR
+        byte_len = 0
         try:
-            # 1. Doorbell: MMIO post over PCIe.
-            yield sim.timeout(params.rnic_doorbell_us)
-
-            # 2. Local RNIC: lookups + payload DMA from host memory.
-            payload = b""
-            outbound_dma = 0
-            if wr.opcode in (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND):
-                payload = self._gather(wr)
-                outbound_dma = len(payload)
-            cost = self._local_lookup_cost(wr)
-            yield from self.device.rnic.process(cost, dma_bytes=outbound_dma)
-
-            # 3. Wire out: headers per MTU; READ/atomics send a request only.
-            if wr.opcode is Opcode.READ:
-                out_bytes = wire_bytes(0)
-            elif wr.opcode in _ATOMICS:
-                out_bytes = wire_bytes(16)  # operands ride in the header
+            if self.state == "ERROR":
+                # QP sits in the error state: flush without touching the
+                # wire (requires a reset() to recover).
+                status = WcStatus.WR_FLUSH_ERR
             else:
-                out_bytes = wire_bytes(len(payload))
-            header_bytes = (
-                params.rnic_ud_header_bytes if self.qp_type == "UD" else 0
-            )
-            yield from fabric.transfer(
-                src_node, dst_node, out_bytes + header_bytes, flow=self.qpn
-            )
+                status, byte_len = yield from self._execute_rts(
+                    wr, fabric, src_node, dst_node, dst_qpn, predecessor
+                )
 
-            # 4. Remote execution: for RC/UC, strictly after the
-            # previous WR on this QP finished executing remotely.
-            remote_device = fabric.nodes[dst_node].device
-            if predecessor is not None and not predecessor.processed:
-                yield predecessor
-            try:
-                status, byte_len, return_payload = yield from remote_device.inbound(
-                    opcode=wr.opcode,
-                    src_node=src_node,
-                    src_qpn=self.qpn,
-                    dst_qpn=dst_qpn,
-                    rkey=wr.rkey,
-                    remote_addr=wr.remote_addr,
-                    payload=payload,
-                    imm=wr.imm,
-                    length=wr.length,
-                    compare_add=wr.compare_add,
-                    swap=wr.swap,
-                    qp_type=self.qp_type,
-                )
-            finally:
-                done = getattr(wr, "_order_done", None)
-                if done is not None and not done.triggered:
-                    done.succeed()
-
-            if wr.delivered is not None and not wr.delivered.triggered:
-                wr.delivered.succeed(status)
-
-            # 5. Response path: RC acks everything; READ/atomics return data.
-            if wr.opcode is Opcode.READ and status is WcStatus.SUCCESS:
-                yield from fabric.transfer(
-                    dst_node, src_node, wire_bytes(len(return_payload)),
-                    flow=self.qpn,
-                )
-                # Local RNIC scatters the response into the SGL.
-                cost = self.device.rnic.qp_lookup_cost(self.qpn)
-                yield from self.device.rnic.process(
-                    cost, dma_bytes=len(return_payload)
-                )
-                self._scatter(wr, return_payload)
-            elif wr.opcode in _ATOMICS and status is WcStatus.SUCCESS:
-                yield from fabric.transfer(
-                    dst_node, src_node, wire_bytes(8), flow=self.qpn
-                )
-                yield from self.device.rnic.process(0.0, dma_bytes=8)
-                self._scatter(wr, return_payload)
-            elif self.qp_type == "RC":
-                yield from fabric.transfer(
-                    dst_node, src_node, ACK_BYTES, flow=self.qpn
-                )
-                yield sim.timeout(params.rnic_ack_us)
-            # UC/UD: fire and forget; completion means "sent".
-
-            # 6. Requester CQE.
+            # Requester CQE.
             if wr.signaled or status is not WcStatus.SUCCESS:
                 yield sim.timeout(params.rnic_completion_us)
                 wc = WorkCompletion(
@@ -274,7 +267,116 @@ class QueuePair:
                     self.send_cq.push(wc)
             return status
         finally:
+            # Failure paths must still unblock the responder-ordering
+            # chain and any delivery waiter, or successors deadlock.
+            done = getattr(wr, "_order_done", None)
+            if done is not None and not done.triggered:
+                done.succeed()
+            if wr.delivered is not None and not wr.delivered.triggered:
+                wr.delivered.succeed(status)
             self._sq_slots.release()
+
+    def _execute_rts(self, wr: SendWR, fabric, src_node: int, dst_node: int,
+                     dst_qpn: int, predecessor):
+        sim, params = self.sim, self.device.params
+
+        # 1. Doorbell: MMIO post over PCIe.
+        yield sim.timeout(params.rnic_doorbell_us)
+
+        # 2. Local RNIC: lookups + payload DMA from host memory.
+        payload = b""
+        outbound_dma = 0
+        if wr.opcode in (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND):
+            payload = self._gather(wr)
+            outbound_dma = len(payload)
+        cost = self._local_lookup_cost(wr)
+        yield from self.device.rnic.process(cost, dma_bytes=outbound_dma)
+
+        # 3. Wire out: headers per MTU; READ/atomics send a request only.
+        if wr.opcode is Opcode.READ:
+            out_bytes = wire_bytes(0)
+        elif wr.opcode in _ATOMICS:
+            out_bytes = wire_bytes(16)  # operands ride in the header
+        else:
+            out_bytes = wire_bytes(len(payload))
+        header_bytes = (
+            params.rnic_ud_header_bytes if self.qp_type == "UD" else 0
+        )
+        sent = yield from self._transfer_retry(
+            fabric, src_node, dst_node, out_bytes + header_bytes
+        )
+        if sent == "error":
+            return WcStatus.RETRY_EXC_ERR, 0
+        if sent == "lost":
+            # UC/UD silent loss: the request dies on the wire but the
+            # sender's completion still means "sent".
+            return WcStatus.SUCCESS, 0
+
+        # 4. Remote execution: for RC/UC, strictly after the
+        # previous WR on this QP finished executing remotely.
+        remote_device = fabric.nodes[dst_node].device
+        if predecessor is not None and not predecessor.processed:
+            yield predecessor
+        try:
+            status, byte_len, return_payload = yield from remote_device.inbound(
+                opcode=wr.opcode,
+                src_node=src_node,
+                src_qpn=self.qpn,
+                dst_qpn=dst_qpn,
+                rkey=wr.rkey,
+                remote_addr=wr.remote_addr,
+                payload=payload,
+                imm=wr.imm,
+                length=wr.length,
+                compare_add=wr.compare_add,
+                swap=wr.swap,
+                qp_type=self.qp_type,
+            )
+        finally:
+            done = getattr(wr, "_order_done", None)
+            if done is not None and not done.triggered:
+                done.succeed()
+
+        if wr.delivered is not None and not wr.delivered.triggered:
+            wr.delivered.succeed(status)
+
+        if status is WcStatus.RNR_RETRY_EXC_ERR and self.qp_type == "RC":
+            # Receiver stayed not-ready past the RNR budget: fatal for
+            # the connection, exactly like a transport retry blowout.
+            self._enter_error()
+            return status, 0
+
+        # 5. Response path: RC acks everything; READ/atomics return data.
+        if wr.opcode is Opcode.READ and status is WcStatus.SUCCESS:
+            back = yield from self._transfer_retry(
+                fabric, dst_node, src_node, wire_bytes(len(return_payload))
+            )
+            if back == "error":
+                return WcStatus.RETRY_EXC_ERR, 0
+            # Local RNIC scatters the response into the SGL.
+            cost = self.device.rnic.qp_lookup_cost(self.qpn)
+            yield from self.device.rnic.process(
+                cost, dma_bytes=len(return_payload)
+            )
+            self._scatter(wr, return_payload)
+        elif wr.opcode in _ATOMICS and status is WcStatus.SUCCESS:
+            back = yield from self._transfer_retry(
+                fabric, dst_node, src_node, wire_bytes(8)
+            )
+            if back == "error":
+                return WcStatus.RETRY_EXC_ERR, 0
+            yield from self.device.rnic.process(0.0, dma_bytes=8)
+            self._scatter(wr, return_payload)
+        elif self.qp_type == "RC":
+            back = yield from self._transfer_retry(
+                fabric, dst_node, src_node, ACK_BYTES
+            )
+            if back == "error":
+                return WcStatus.RETRY_EXC_ERR, 0
+            yield sim.timeout(params.rnic_ack_us)
+        # UC/UD: fire and forget; completion means "sent".
+
+        return status, byte_len
 
     def __repr__(self) -> str:
         return (

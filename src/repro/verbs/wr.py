@@ -46,6 +46,7 @@ class WcStatus(enum.Enum):
     LOC_LEN_ERR = "local_length_error"
     REM_ACCESS_ERR = "remote_access_error"
     REM_INV_REQ_ERR = "remote_invalid_request"
+    RETRY_EXC_ERR = "transport_retry_exceeded"
     RNR_RETRY_EXC_ERR = "rnr_retry_exceeded"
     WR_FLUSH_ERR = "flushed"
 

@@ -1,7 +1,7 @@
 """Backpressure limits and storage-boundary edge cases."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import Cluster
@@ -83,7 +83,8 @@ def test_rpc_ring_sustains_sustained_overload():
 
 
 @given(data=st.data())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.data_too_large])
 def test_property_sparse_region_rw_across_block_boundaries(data):
     """Reads/writes straddling the 64 KiB sparse-block boundary behave
     exactly like a flat buffer."""

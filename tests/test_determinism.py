@@ -66,6 +66,50 @@ def test_different_seeds_differ():
     assert times_a != times_b
 
 
+def test_empty_fault_plan_is_zero_cost():
+    """An installed-but-empty FaultPlan must not perturb the event
+    stream: timestamps and data stay byte-identical.
+
+    Uses the KV store (its wire messages carry no global object-id
+    counters, so runs are *exactly* reproducible in-process — see the
+    §7 note in docs/INTERNALS.md for why the RPC trace above is not).
+    """
+    from repro.apps.kvstore import LiteKVClient, LiteKVServer
+    from repro.fault import FaultInjector, FaultPlan
+
+    def run_once(inject: bool):
+        cluster = Cluster(3)
+        kernels = lite_boot(cluster)
+        if inject:
+            FaultInjector(cluster, FaultPlan(), seed=99).install()
+            assert cluster.fabric.fault is None  # hook never armed
+        servers = [LiteKVServer(kernels[1], 0), LiteKVServer(kernels[2], 1)]
+
+        def setup():
+            for server in servers:
+                yield from server.start()
+            yield cluster.sim.timeout(1)
+
+        cluster.run_process(setup())
+        client = LiteKVClient(kernels[0], servers)
+        trace = []
+
+        def proc():
+            for index in range(25):
+                key = b"key-%d" % (index % 9)
+                yield from client.put(key, b"value-%d" % index)
+                value = yield from client.get(key)
+                trace.append((cluster.sim.now, value))
+
+        cluster.run_process(proc())
+        return trace, cluster.sim.now
+
+    trace_plain, now_plain = run_once(False)
+    trace_inj, now_inj = run_once(True)
+    assert trace_plain == trace_inj  # timestamps exactly equal
+    assert now_plain == now_inj
+
+
 def test_full_app_run_is_deterministic():
     from repro.apps.mapreduce import LiteMR
 

@@ -265,3 +265,105 @@ def test_nested_processes_three_deep():
 
     assert sim.run_process(root()) == 3
     assert sim.now == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Cancellable timers and heap pruning
+# ---------------------------------------------------------------------------
+def test_cancelled_timeout_never_fires_or_advances_time():
+    sim = Simulator()
+    timer = sim.timeout(50)
+    timer.cancel()
+    assert timer.cancelled
+    sim.run()
+    assert sim.now == 0.0  # the heap was pruned, time never advanced
+
+
+def test_cancel_after_processed_is_a_noop():
+    sim = Simulator()
+    timer = sim.timeout(5)
+    sim.run()
+    timer.cancel()
+    assert not timer.cancelled
+    assert timer.processed
+
+
+def test_cancelling_race_loser_releases_the_heap():
+    """The canonical timeout-vs-reply race: cancelling the losing timer
+    means the simulation does not idle until the timer's deadline."""
+    sim = Simulator()
+
+    def proc():
+        reply = sim.timeout(1, value="reply")
+        timer = sim.timeout(1000)
+        results = yield sim.any_of([reply, timer])
+        timer.cancel()
+        return results
+
+    results = sim.run_process(proc())
+    assert results == {0: "reply"}
+    sim.run()
+    assert sim.now == 1.0  # never crawled to the timer's t=1000
+
+
+def test_peek_skips_cancelled_events():
+    sim = Simulator()
+    early = sim.timeout(3)
+    sim.timeout(7)
+    early.cancel()
+    assert sim.peek() == 7.0
+
+
+def test_any_of_both_branches_at_same_timestamp():
+    """Two events at the same instant: FIFO order decides the winner and
+    the loser still completes without corrupting the condition."""
+    sim = Simulator()
+    first = sim.timeout(5, value="first")
+    second = sim.timeout(5, value="second")
+
+    def proc():
+        results = yield sim.any_of([first, second])
+        return results
+
+    results = sim.run_process(proc())
+    assert results == {0: "first"}
+    sim.run()  # drain the loser
+    assert second.processed
+    assert sim.now == 5.0
+
+
+def test_process_termination_leaves_pending_events_harmless():
+    """A stop-condition exit with events still queued must not wedge:
+    the leftovers drain on the next run()."""
+    sim = Simulator()
+    sim.timeout(100)
+
+    def quick():
+        yield sim.timeout(1)
+        return "done"
+
+    proc = sim.process(quick())
+    assert sim.run(stop=proc) == "done"
+    assert sim.now == 1.0
+    sim.run()
+    assert sim.now == 100.0
+
+
+def test_any_of_concurrent_failures_do_not_crash():
+    """A second failing event after the condition resolved is defused."""
+    sim = Simulator()
+
+    def boom(delay):
+        yield sim.timeout(delay)
+        raise RuntimeError("boom")
+
+    p1 = sim.process(boom(1))
+    p2 = sim.process(boom(1))
+
+    def waiter():
+        try:
+            yield sim.any_of([p1, p2])
+        except RuntimeError:
+            return "caught"
+
+    assert sim.run_process(waiter()) == "caught"

@@ -1,0 +1,152 @@
+"""Chaos harness: run LITE applications under randomized fault plans.
+
+Usage:
+    PYTHONPATH=src python tools/chaos.py [--seeds N] [--workload kv|mr|both]
+                                         [--loss RATE] [--crashes N]
+                                         [--duration US] [--verbose]
+
+For each seed, builds a fresh cluster, derives a deterministic
+:class:`repro.fault.FaultPlan` from the seed, installs it, runs the
+workload (sharded KV store and/or LITE MapReduce) with timeout/retry
+armed, and verifies the results against a fault-free oracle.  Any
+wrong answer or hang is a bug in the failure semantics; a
+``LiteError(ETIMEDOUT)`` is only acceptable when the plan leaves a
+needed node permanently dead.
+
+Every run prints its (workload seed, fault seed) pair, so failures
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.apps.kvstore import LiteKVClient, LiteKVServer  # noqa: E402
+from repro.apps.mapreduce import LiteMR  # noqa: E402
+from repro.apps.mapreduce.common import wordcount_map  # noqa: E402
+from repro.cluster import Cluster  # noqa: E402
+from repro.core import LiteError, lite_boot  # noqa: E402
+from repro.fault import FaultInjector, FaultPlan  # noqa: E402
+from repro.workloads import generate_corpus  # noqa: E402
+
+
+def run_kv(seed: int, plan: FaultPlan, n_ops: int, verbose: bool) -> str:
+    """One KV run under ``plan``; returns a verdict string."""
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    injector = FaultInjector(cluster, plan, seed=seed).install()
+    servers = [LiteKVServer(kernels[1], 0), LiteKVServer(kernels[2], 1)]
+
+    def setup():
+        for server in servers:
+            yield from server.start()
+        yield cluster.sim.timeout(1)
+
+    cluster.run_process(setup())
+    client = LiteKVClient(kernels[0], servers,
+                          rpc_timeout_us=20000.0, rpc_retries=6)
+    expected = {}
+
+    def proc():
+        for index in range(n_ops):
+            key = b"key-%d" % (index % 13)
+            value = b"value-%d-%d" % (seed, index)
+            yield from client.put(key, value)
+            expected[key] = value
+            yield cluster.sim.timeout(50.0)
+        for key, value in expected.items():
+            got = yield from client.get(key)
+            if got != value:
+                raise AssertionError(f"KV mismatch on {key!r}: {got!r}")
+
+    try:
+        cluster.run_process(proc())
+    except LiteError as exc:
+        return f"degraded (LiteError errno={exc.errno}: {exc})"
+    if verbose:
+        print(f"    {injector!r}")
+    return "ok"
+
+
+def run_mr(seed: int, plan: FaultPlan, verbose: bool) -> str:
+    """One MapReduce run under ``plan``; returns a verdict string."""
+    corpus = generate_corpus(12, 120, vocab_size=200, seed=seed)
+    truth = Counter()
+    for document in corpus:
+        truth.update(wordcount_map(document))
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    injector = FaultInjector(cluster, plan, seed=seed).install()
+    engine = LiteMR(kernels, total_threads=4,
+                    rpc_timeout_us=50000.0, rpc_retries=6)
+    try:
+        result = cluster.run_process(engine.run(corpus))
+    except LiteError as exc:
+        return f"degraded (LiteError errno={exc.errno}: {exc})"
+    if result != truth:
+        raise AssertionError(f"MapReduce produced wrong counts (seed {seed})")
+    if verbose:
+        print(f"    {injector!r}")
+    return "ok"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=5,
+                        help="number of fault seeds to run (default 5)")
+    parser.add_argument("--workload", choices=("kv", "mr", "both"),
+                        default="both")
+    parser.add_argument("--loss", type=float, default=0.01,
+                        help="uniform packet-loss rate (default 0.01)")
+    parser.add_argument("--crashes", type=int, default=1,
+                        help="crashed-and-restarted nodes per plan (default 1)")
+    parser.add_argument("--duration", type=float, default=5000.0,
+                        help="fault-plan horizon in us (default 5000; crash "
+                             "times land in the 10-50%% window of this, so "
+                             "keep it shorter than the workload runtime)")
+    parser.add_argument("--mr-duration", type=float, default=300.0,
+                        help="fault-plan horizon for the MapReduce run, "
+                             "which finishes in a few hundred us (default 300)")
+    parser.add_argument("--kv-ops", type=int, default=40)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for seed in range(args.seeds):
+        for name, duration in (("kv", args.duration),
+                               ("mr", args.mr_duration)):
+            if args.workload not in (name, "both"):
+                continue
+            # Node 0 hosts the client/master; keep it out of the blast
+            # radius so every run has a well-defined expected outcome.
+            # A plan can only be installed once, so each run gets a
+            # fresh (but seed-identical) one.
+            plan = FaultPlan.random(
+                seed, [0, 1, 2], duration, crashes=args.crashes,
+                loss_rate=args.loss, restart=True, spare=0,
+            )
+            if args.verbose:
+                print(f"seed {seed} {name} plan:\n{plan.describe()}")
+            try:
+                if name == "kv":
+                    verdict = run_kv(seed, plan, args.kv_ops, args.verbose)
+                else:
+                    verdict = run_mr(seed, plan, args.verbose)
+            except AssertionError as exc:
+                verdict = f"FAILED: {exc}"
+                failures += 1
+            print(f"seed {seed:3d} {name}: {verdict}")
+    if failures:
+        print(f"{failures} chaos run(s) FAILED")
+        return 1
+    print("all chaos runs passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

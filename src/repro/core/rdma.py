@@ -97,6 +97,66 @@ class OneSidedEngine:
             yield self.sim.timeout(backoff)
             backoff = min(backoff * 2, params.lite_retry_backoff_cap_us)
 
+    def _post_batch(self, peer_id: int, wrs: List[SendWR], priority: int):
+        """Issue many WRs to one peer behind one doorbell + window slot.
+
+        Generator; returns the list of completion statuses in posting
+        order.  The whole chain is posted with a single
+        ``post_send_batch`` call: one ``lite-post`` CPU charge and (for
+        ``doorbell_batch > 1``) one MMIO doorbell per chunk of WRs,
+        modeling §5.2's batched WQE posting.  The batch occupies a
+        single QoS-window slot — acquiring one slot per WR could
+        deadlock two concurrent batches sharing a window.  Individual
+        transport failures fall back to the one-at-a-time :meth:`_post`
+        retry path (atomics excluded, as they are not idempotent).
+        """
+        kernel = self.kernel
+        params = self.params
+        if params.doorbell_batch <= 1 or len(wrs) == 1:
+            # Unbatched: identical to the seed's per-WR posting, issued
+            # concurrently.
+            procs = [
+                self.sim.process(self._post(peer_id, wr, priority))
+                for wr in wrs
+            ]
+            results = yield self.sim.all_of(procs)
+            return [results[index] for index in range(len(procs))]
+        peer = kernel.peer(peer_id)
+        # Stripe doorbell chunks across the class's eligible shared QPs:
+        # batching must not collapse the K-way QP parallelism onto one
+        # RC ordering chain.  The floor of 2 keeps small chains (e.g.
+        # the RPC reply+head piggyback) on one QP — splitting a pair
+        # across QPs would pay two doorbells and lose their ordering.
+        fanout = max(len(kernel.qos.eligible_qps(peer, priority)), 1)
+        chunk_len = min(
+            params.doorbell_batch, max(2, -(-len(wrs) // fanout))
+        )
+        out: List[WcStatus] = [None] * len(wrs)
+
+        def chunk_runner(chunk, base_index):
+            qp, window = kernel.qos.pick_qp(peer, priority)
+            yield window.request()
+            try:
+                kernel.node.cpu.charge("lite-post", params.rnic_doorbell_us)
+                results = yield self.sim.all_of(qp.post_send_batch(chunk))
+                statuses = [results[index] for index in range(len(chunk))]
+            finally:
+                window.release()
+            for offset, (wr, status) in enumerate(zip(chunk, statuses)):
+                if status in _RETRYABLE and wr.opcode not in _ATOMIC_OPS:
+                    if qp.state == "ERROR":
+                        qp.reset()
+                    self.retried_ops += 1
+                    status = yield from self._post(peer_id, wr, priority)
+                out[base_index + offset] = status
+
+        runners = [
+            self.sim.process(chunk_runner(wrs[start : start + chunk_len], start))
+            for start in range(0, len(wrs), chunk_len)
+        ]
+        yield self.sim.all_of(runners)
+        return out
+
     def _check(self, statuses: List[WcStatus], what: str) -> None:
         for status in statuses:
             if status is not WcStatus.SUCCESS:
@@ -109,8 +169,11 @@ class OneSidedEngine:
         yield from kernel.qos.gate(priority)
         start = self.sim.now
         procs = []
+        # Zero-copy: pieces are memoryview slices of the caller's buffer;
+        # the single copy happens at the destination region write.
+        view = memoryview(data)
         for chunk, chunk_off, piece_len, buf_off in mapping.plan(offset, len(data)):
-            piece = data[buf_off : buf_off + piece_len]
+            piece = view[buf_off : buf_off + piece_len]
             if chunk.node_id == kernel.lite_id:
                 yield from kernel.node.cpu.execute(
                     piece_len / self.params.memcpy_bytes_per_us, tag="lite-local"
@@ -171,7 +234,117 @@ class OneSidedEngine:
                 parts[index] = wr.return_data or b""
         self.reads += 1
         kernel.qos.observe(priority, self.sim.now - start)
+        if len(parts) == 1:
+            return parts[0]
         return b"".join(parts)
+
+    # -- vector ops (batched data plane, §5.2) --------------------------------
+    def write_vec(self, ops, priority: int = 0):
+        """Vector LT_write: many writes, one doorbell per WR chunk.
+
+        ``ops`` is a sequence of ``(mapping, offset, data)`` triples.
+        All remote pieces destined for the same peer are posted as one
+        WR chain through :meth:`_post_batch`; local pieces short-circuit
+        into memcpy as usual.  Generator; raises on any failure.
+        """
+        kernel = self.kernel
+        yield from kernel.qos.gate(priority)
+        start = self.sim.now
+        by_peer: dict = {}
+        for mapping, offset, data in ops:
+            view = memoryview(data)
+            for chunk, chunk_off, piece_len, buf_off in mapping.plan(
+                offset, len(data)
+            ):
+                piece = view[buf_off : buf_off + piece_len]
+                if chunk.node_id == kernel.lite_id:
+                    yield from kernel.node.cpu.execute(
+                        piece_len / self.params.memcpy_bytes_per_us,
+                        tag="lite-local",
+                    )
+                    kernel._local_chunk_write(chunk, chunk_off, piece)
+                    continue
+                peer = kernel.peer(chunk.node_id)
+                if chunk.rkey is not None:
+                    remote_addr, rkey = chunk.va + chunk_off, chunk.rkey
+                else:
+                    remote_addr, rkey = chunk.addr + chunk_off, peer.global_rkey
+                wr = SendWR(
+                    Opcode.WRITE,
+                    inline_data=piece,
+                    remote_addr=remote_addr,
+                    rkey=rkey,
+                )
+                by_peer.setdefault(chunk.node_id, []).append(wr)
+        if by_peer:
+            procs = [
+                self.sim.process(self._post_batch(peer_id, wrs, priority))
+                for peer_id, wrs in by_peer.items()
+            ]
+            results = yield self.sim.all_of(procs)
+            for statuses in results.values():
+                self._check(statuses, "write_vec")
+        self.writes += len(ops)
+        kernel.qos.observe(priority, self.sim.now - start)
+
+    def read_vec(self, ops, priority: int = 0):
+        """Vector LT_read: many reads, one doorbell per WR chunk.
+
+        ``ops`` is a sequence of ``(mapping, offset, nbytes)`` triples.
+        Generator; returns a list of bytes objects, one per op, in op
+        order.
+        """
+        kernel = self.kernel
+        yield from kernel.qos.gate(priority)
+        start = self.sim.now
+        op_parts: List[List[bytes]] = []
+        by_peer: dict = {}
+        slots = []  # (op_index, part_index, wr)
+        for op_index, (mapping, offset, nbytes) in enumerate(ops):
+            pieces = mapping.plan(offset, nbytes)
+            parts: List[bytes] = [b""] * len(pieces)
+            op_parts.append(parts)
+            for part_index, (chunk, chunk_off, piece_len, _buf_off) in enumerate(
+                pieces
+            ):
+                if chunk.node_id == kernel.lite_id:
+                    yield from kernel.node.cpu.execute(
+                        piece_len / self.params.memcpy_bytes_per_us,
+                        tag="lite-local",
+                    )
+                    parts[part_index] = kernel._local_chunk_read(
+                        chunk, chunk_off, piece_len
+                    )
+                    continue
+                peer = kernel.peer(chunk.node_id)
+                if chunk.rkey is not None:
+                    remote_addr, rkey = chunk.va + chunk_off, chunk.rkey
+                else:
+                    remote_addr, rkey = chunk.addr + chunk_off, peer.global_rkey
+                wr = SendWR(
+                    Opcode.READ,
+                    remote_addr=remote_addr,
+                    rkey=rkey,
+                    read_length=piece_len,
+                )
+                by_peer.setdefault(chunk.node_id, []).append(wr)
+                slots.append((op_index, part_index, wr))
+        if by_peer:
+            procs = [
+                self.sim.process(self._post_batch(peer_id, wrs, priority))
+                for peer_id, wrs in by_peer.items()
+            ]
+            results = yield self.sim.all_of(procs)
+            for statuses in results.values():
+                self._check(statuses, "read_vec")
+            for op_index, part_index, wr in slots:
+                op_parts[op_index][part_index] = wr.return_data or b""
+        self.reads += len(ops)
+        kernel.qos.observe(priority, self.sim.now - start)
+        return [
+            parts[0] if len(parts) == 1 else b"".join(parts)
+            for parts in op_parts
+        ]
 
     # -- atomics ---------------------------------------------------------------
     def _atomic(self, mapping: MappedLmr, offset: int, opcode: Opcode,
@@ -258,6 +431,41 @@ class OneSidedEngine:
                     peer_id, phys_addr, data, imm=imm, signaled=False,
                     priority=priority,
                 )
+            except LiteError:
+                self.async_write_failures += 1
+
+        self.sim.process(runner(), name="lite-raw-write")
+
+    def raw_write_batch_async(self, peer_id: int, writes, priority: int = 0) -> None:
+        """Fire-and-forget chain of raw writes behind one doorbell.
+
+        ``writes`` is a sequence of ``(phys_addr, data, imm)`` triples
+        (``imm=None`` for a plain write).  The chain is posted in order
+        on one shared QP, so RC ordering holds across the whole batch —
+        the piggybacked RPC reply+ring-head update relies on this.
+        Failure semantics match :meth:`raw_write_async`.
+        """
+
+        def runner():
+            try:
+                peer = self.kernel.peer(peer_id)
+                wrs = []
+                for phys_addr, data, imm in writes:
+                    opcode = Opcode.WRITE if imm is None else Opcode.WRITE_IMM
+                    wrs.append(
+                        SendWR(
+                            opcode,
+                            inline_data=data,
+                            remote_addr=phys_addr,
+                            rkey=peer.global_rkey,
+                            imm=imm,
+                            signaled=False,
+                        )
+                    )
+                statuses = yield from self._post_batch(peer_id, wrs, priority)
+                for status in statuses:
+                    if status is not WcStatus.SUCCESS:
+                        self.async_write_failures += 1
             except LiteError:
                 self.async_write_failures += 1
 

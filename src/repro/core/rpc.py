@@ -84,7 +84,7 @@ class _ServerRing:
     """Server-side state for one client's ring."""
 
     __slots__ = ("client_id", "region", "size", "head_virtual",
-                 "client_head_slot_addr", "bytes_received")
+                 "client_head_slot_addr", "bytes_received", "head_dirty")
 
     def __init__(self, client_id: int, region, client_head_slot_addr: int):
         self.client_id = client_id
@@ -93,6 +93,9 @@ class _ServerRing:
         self.head_virtual = 0
         self.client_head_slot_addr = client_head_slot_addr
         self.bytes_received = 0
+        # Head-pointer update owed to the client but not yet written
+        # (deferred for reply piggybacking when doorbell_batch > 1).
+        self.head_dirty = False
 
     def read_wrapped(self, pos: int, nbytes: int) -> bytes:
         """Read ring bytes, wrapping past the physical end."""
@@ -372,12 +375,20 @@ class RpcEngine:
         msg_len = REQ_HEADER_BYTES + input_len
         ring.head_virtual += msg_len
         ring.bytes_received += msg_len
-        # Background header-pointer update to the client (step f).
-        self.kernel.onesided.raw_write_async(
-            client_id,
-            ring.client_head_slot_addr,
-            struct.pack("<Q", ring.head_virtual),
-        )
+        # Background header-pointer update to the client (step f).  With
+        # batched posting it is deferred and piggybacked onto this
+        # client's next reply write — one doorbell instead of two (§5.2).
+        # Every reply path flushes it; a handler that never replies
+        # leaves the client to its RPC timeout, which is already the
+        # failure story.
+        if self.params.doorbell_batch > 1:
+            ring.head_dirty = True
+        else:
+            self.kernel.onesided.raw_write_async(
+                client_id,
+                ring.client_head_slot_addr,
+                struct.pack("<Q", ring.head_virtual),
+            )
         # Same-token duplicate (a client retry that crossed our reply or
         # arrived while the handler still runs) must not invoke the
         # handler twice: answer from the reply cache or drop it.
@@ -386,10 +397,7 @@ class RpcEngine:
         if cached is not None:
             cached_addr, cached_payload = cached
             self.duplicates_suppressed += 1
-            self.kernel.onesided.raw_write_async(
-                client_id, cached_addr, cached_payload,
-                imm=pack_reply_imm(token),
-            )
+            self._send_reply(client_id, cached_addr, cached_payload, token)
             return
         if key in self._inflight:
             self.duplicates_suppressed += 1
@@ -403,12 +411,43 @@ class RpcEngine:
             # Unknown function: error reply straight from the kernel.
             payload = struct.pack("<II", _STATUS_NO_FUNC, 0)
             self._cache_reply(key, reply_addr, payload)
-            self.kernel.onesided.raw_write_async(
-                client_id, reply_addr, payload, imm=pack_reply_imm(token),
-            )
+            self._send_reply(client_id, reply_addr, payload, token)
             return
         self._inflight.add(key)
         store.put(call)
+
+    def _send_reply(self, client_id: int, reply_addr: int, payload: bytes,
+                    token: int) -> None:
+        """Write a reply, piggybacking any owed head-pointer update.
+
+        With ``doorbell_batch > 1`` the deferred ring-head write and the
+        reply ride one WR chain behind a single doorbell; RC posting
+        order guarantees the client observes the head advance no later
+        than the reply imm.
+        """
+        ring = self.server_rings.get(client_id)
+        imm = pack_reply_imm(token)
+        if (
+            self.params.doorbell_batch > 1
+            and ring is not None
+            and ring.head_dirty
+        ):
+            ring.head_dirty = False
+            self.kernel.onesided.raw_write_batch_async(
+                client_id,
+                [
+                    (
+                        ring.client_head_slot_addr,
+                        struct.pack("<Q", ring.head_virtual),
+                        None,
+                    ),
+                    (reply_addr, payload, imm),
+                ],
+            )
+        else:
+            self.kernel.onesided.raw_write_async(
+                client_id, reply_addr, payload, imm=imm
+            )
 
     def _cache_reply(self, key: tuple, reply_addr: int, payload: bytes) -> None:
         """Remember a reply for duplicate suppression (bounded LRU-ish)."""
@@ -454,6 +493,4 @@ class RpcEngine:
         else:
             payload = struct.pack("<II", _STATUS_OK, len(data)) + data
         self._cache_reply(key, call.reply_addr, payload)
-        self.kernel.onesided.raw_write_async(
-            call.client_id, call.reply_addr, payload, imm=pack_reply_imm(call.token)
-        )
+        self._send_reply(call.client_id, call.reply_addr, payload, call.token)

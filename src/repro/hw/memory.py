@@ -19,6 +19,11 @@ class OutOfMemoryError(Exception):
     """No physically-contiguous extent of the requested size exists."""
 
 
+# Shared zero source for sparse reads (one block; sliced, never copied
+# until the final join).
+_ZERO_BLOCK = memoryview(bytes(65536))
+
+
 class PhysRegion:
     """A physically-contiguous extent of host DRAM with real contents.
 
@@ -48,38 +53,97 @@ class PhysRegion:
                 f"of size {self.size}"
             )
 
-    def write(self, offset: int, payload: bytes) -> None:
-        """Store real bytes (materializing touched blocks)."""
-        self._check(offset, len(payload), "write")
+    def write(self, offset: int, payload) -> None:
+        """Store real bytes (materializing touched blocks).
+
+        ``payload`` may be any bytes-like object (``bytes``,
+        ``bytearray``, ``memoryview``); slicing it goes through a
+        memoryview so multi-block writes never copy the payload twice.
+        """
+        length = len(payload)
+        self._check(offset, length, "write")
         block_size = self._BLOCK
+        blocks = self._blocks
+        block_index = offset // block_size
+        inner = offset % block_size
+        if inner + length <= block_size:
+            # Fast path: the write lands in a single block.
+            block = blocks.get(block_index)
+            if block is None:
+                block = blocks[block_index] = bytearray(block_size)
+            block[inner : inner + length] = payload
+            return
+        view = memoryview(payload)
         cursor = 0
-        while cursor < len(payload):
+        while cursor < length:
             block_index = (offset + cursor) // block_size
             inner = (offset + cursor) % block_size
-            take = min(block_size - inner, len(payload) - cursor)
-            block = self._blocks.get(block_index)
+            take = min(block_size - inner, length - cursor)
+            block = blocks.get(block_index)
             if block is None:
-                block = self._blocks[block_index] = bytearray(block_size)
-            block[inner : inner + take] = payload[cursor : cursor + take]
+                block = blocks[block_index] = bytearray(block_size)
+            block[inner : inner + take] = view[cursor : cursor + take]
             cursor += take
 
     def read(self, offset: int, nbytes: int) -> bytes:
-        """Load real bytes; untouched blocks read as zeros."""
+        """Load real bytes; untouched blocks read as zeros.
+
+        Untouched (never-written) blocks are never materialized: holes
+        contribute slices of a shared zero buffer, and each touched
+        block contributes exactly one copy (``b"".join`` consumes the
+        memoryview slices directly).
+        """
         self._check(offset, nbytes, "read")
         block_size = self._BLOCK
+        blocks = self._blocks
+        block_index = offset // block_size
+        inner = offset % block_size
+        if inner + nbytes <= block_size:
+            # Fast path: the read comes from a single block.
+            block = blocks.get(block_index)
+            if block is None:
+                return bytes(nbytes)
+            return bytes(memoryview(block)[inner : inner + nbytes])
+        zeros = _ZERO_BLOCK
         parts = []
         cursor = 0
         while cursor < nbytes:
             block_index = (offset + cursor) // block_size
             inner = (offset + cursor) % block_size
             take = min(block_size - inner, nbytes - cursor)
-            block = self._blocks.get(block_index)
+            block = blocks.get(block_index)
             if block is None:
-                parts.append(b"\x00" * take)
+                parts.append(zeros[:take])
             else:
-                parts.append(bytes(block[inner : inner + take]))
+                parts.append(memoryview(block)[inner : inner + take])
             cursor += take
         return b"".join(parts)
+
+    def read_into(self, offset: int, buf) -> int:
+        """Load bytes directly into a writable buffer; returns len(buf).
+
+        Zero-copy counterpart of :meth:`read` for callers that own a
+        destination ``bytearray``/``memoryview`` (RNIC DMA scatter).
+        """
+        dest = memoryview(buf)
+        nbytes = len(dest)
+        self._check(offset, nbytes, "read")
+        block_size = self._BLOCK
+        blocks = self._blocks
+        cursor = 0
+        while cursor < nbytes:
+            block_index = (offset + cursor) // block_size
+            inner = (offset + cursor) % block_size
+            take = min(block_size - inner, nbytes - cursor)
+            block = blocks.get(block_index)
+            if block is None:
+                dest[cursor : cursor + take] = _ZERO_BLOCK[:take]
+            else:
+                dest[cursor : cursor + take] = memoryview(block)[
+                    inner : inner + take
+                ]
+            cursor += take
+        return nbytes
 
     def page_ids(self, page_size: int, offset: int = 0, nbytes: Optional[int] = None):
         """Global page identities touched by an access, for PTE caching."""

@@ -6,11 +6,19 @@ generators that ``yield`` :class:`Event` instances to wait on them.
 
 All simulated time is in **microseconds** (float), matching the latency
 scales reported in the LITE paper.
+
+The engine is the wall-clock hot path of every benchmark, so its object
+model is deliberately slotted and allocation-light: all event classes
+carry ``__slots__``, and :class:`Timeout` instances — by far the most
+frequently allocated event kind — are recycled through a free-list pool
+once the engine can prove (via the reference count) that no simulation
+code still holds them.
 """
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -39,6 +47,9 @@ class Interrupt(Exception):
 
 PENDING = object()
 
+# Cap on the recycled-Timeout free list (objects, not bytes).
+_TIMEOUT_POOL_MAX = 4096
+
 
 class Event:
     """A one-shot occurrence at a point in simulated time.
@@ -46,6 +57,8 @@ class Event:
     Events start *pending*; they are later *triggered* (succeed or fail)
     and their callbacks run when the simulator pops them off the heap.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -134,6 +147,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` microseconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -152,6 +167,8 @@ class Process(Event):
     the exception is thrown into the generator.
     """
 
+    __slots__ = ("_generator", "name", "_target", "_stale")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -159,6 +176,10 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        # Events this process stopped waiting on (interrupt detach); the
+        # subscribed callback stays in their lists and is ignored when it
+        # eventually fires, avoiding an O(n) list scan per interrupt.
+        self._stale: Optional[set] = None
         # Bootstrap: resume once at the current time.
         start = Event(sim)
         start._ok = True
@@ -182,46 +203,58 @@ class Process(Event):
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
         interrupt_event.callbacks.append(self._resume)
-        # Detach from whatever the process currently waits on.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        # Detach from whatever the process currently waits on: the old
+        # target keeps its callback, but _resume will drop its firing on
+        # the floor (it is marked stale).  This keeps interrupt O(1)
+        # where the seed paid an O(n) callbacks.remove scan.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            if self._stale is None:
+                self._stale = set()
+            self._stale.add(target)
             self._target = None
         self.sim._enqueue(0.0, interrupt_event)
 
     def _resume(self, event: Event) -> None:
-        self.sim.active_process = self
+        stale = self._stale
+        if stale and event in stale:
+            # A wakeup from an event this process was detached from by
+            # interrupt(): ignore it.  Failure semantics match the
+            # seed's callback removal — the event stays un-defused.
+            stale.discard(event)
+            return
+        sim = self.sim
+        generator = self._generator
+        sim.active_process = self
         self._target = None
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = generator.send(event._value)
                 else:
                     event._defused = True
-                    target = self._generator.throw(event._value)
+                    target = generator.throw(event._value)
             except StopIteration as exc:
-                self.sim.active_process = None
+                sim.active_process = None
                 self.succeed(exc.value)
                 return
             except BaseException as exc:
-                self.sim.active_process = None
+                sim.active_process = None
                 self.fail(exc)
                 return
 
-            if not isinstance(target, Event):
+            if type(target) is not Timeout and not isinstance(target, Event):
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {target!r}"
                 )
                 try:
-                    self._generator.throw(exc)
+                    generator.throw(exc)
                 except StopIteration as stop:
-                    self.sim.active_process = None
+                    sim.active_process = None
                     self.succeed(stop.value)
                     return
                 except BaseException as err:
-                    self.sim.active_process = None
+                    sim.active_process = None
                     self.fail(err)
                     return
                 continue
@@ -233,31 +266,35 @@ class Process(Event):
 
             target.callbacks.append(self._resume)
             self._target = target
-            self.sim.active_process = None
+            sim.active_process = None
             return
 
 
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
 
+    __slots__ = ("events", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
         self._pending = 0
+        already_processed = None
         for event in self.events:
             if not isinstance(event, Event):
                 raise SimulationError(f"non-event in condition: {event!r}")
-        already_processed = []
-        for event in self.events:
             if event.callbacks is None:
+                if already_processed is None:
+                    already_processed = []
                 already_processed.append(event)
             else:
                 self._pending += 1
                 event.callbacks.append(self._observe)
-        for event in already_processed:
-            if self.triggered:
-                break
-            self._pre_observe(event)
+        if already_processed:
+            for event in already_processed:
+                if self.triggered:
+                    break
+                self._pre_observe(event)
         self._check_start()
 
     def _observe(self, event: Event) -> None:
@@ -274,19 +311,21 @@ class _Condition(Event):
         return {
             index: event._value
             for index, event in enumerate(self.events)
-            if event.processed and event._ok
+            if event.callbacks is None and event._ok
         }
 
 
 class AllOf(_Condition):
     """Fires when every constituent event has fired."""
 
+    __slots__ = ()
+
     def _observe(self, event: Event) -> None:
         if event._ok is False:
             # Defuse even when the condition already fired: a second
             # concurrent failure must not crash the run.
             event._defused = True
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if event._ok is False:
             self.fail(event._value)
@@ -300,18 +339,20 @@ class AllOf(_Condition):
             self.fail(event._value)
 
     def _check_start(self) -> None:
-        if not self.triggered and self._pending <= 0:
+        if self._value is PENDING and self._pending <= 0:
             self.succeed(self._results())
 
 
 class AnyOf(_Condition):
     """Fires when the first constituent event fires."""
 
+    __slots__ = ()
+
     def _observe(self, event: Event) -> None:
         if event._ok is False:
             # Losers failing after the race resolved must not crash.
             event._defused = True
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if event._ok is False:
             self.fail(event._value)
@@ -331,11 +372,15 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop: owns simulated time and the pending-event heap."""
 
+    __slots__ = ("now", "_heap", "_seq", "active_process", "_timeout_pool")
+
     def __init__(self):
         self.now: float = 0.0
         self._heap: list = []
         self._seq = 0
         self.active_process: Optional[Process] = None
+        # Recycled Timeout instances (see step()).
+        self._timeout_pool: list = []
 
     # -- scheduling -----------------------------------------------------
     def _enqueue(self, delay: float, event: Event) -> None:
@@ -348,6 +393,19 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` us from now."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            event = pool.pop()
+            event.callbacks = []
+            event._value = value
+            event._ok = True
+            event._defused = False
+            event._cancelled = False
+            event.delay = delay
+            self._enqueue(delay, event)
+            return event
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -371,14 +429,23 @@ class Simulator:
 
     def step(self) -> None:
         """Pop and execute the next scheduled event."""
-        self._prune()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = heapq.heappop(heap)
         if when < self.now:
             raise SimulationError("time went backwards")
         self.now = when
         event._run_callbacks()
+        # Recycle plain Timeouts nobody references anymore: the heap
+        # tuple is gone and the waiter resumed, so a refcount of 2
+        # (local + getrefcount argument) proves the object is garbage.
+        if type(event) is Timeout:
+            pool = self._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_MAX and getrefcount(event) == 2:
+                pool.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -392,13 +459,19 @@ class Simulator:
         """
         if stop is not None and not isinstance(stop, Event):
             raise SimulationError("stop must be an Event")
-        while self._heap:
-            if stop is not None and stop.processed:
-                break
-            if until is not None and self.peek() > until:
-                self.now = until
-                break
-            self.step()
+        step = self.step
+        heap = self._heap
+        if stop is None and until is None:
+            while heap:
+                step()
+        else:
+            while heap:
+                if stop is not None and stop.callbacks is None:
+                    break
+                if until is not None and self.peek() > until:
+                    self.now = until
+                    break
+                step()
         if stop is not None:
             if not stop.triggered:
                 raise SimulationError(

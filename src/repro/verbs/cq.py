@@ -44,7 +44,14 @@ class CompletionQueue:
         self._store.put(wc)
 
     def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
-        """Drain up to ``max_entries`` CQEs immediately available."""
+        """Drain up to ``max_entries`` CQEs immediately available.
+
+        This is ``ibv_poll_cq(cq, max_entries, ...)``: one software poll
+        harvesting a whole backlog of completions in a single call — the
+        §5.2 completion-coalescing primitive.  Callers model the CPU cost
+        as one poll charge per *call*, not per CQE (see
+        :meth:`repro.hw.cpu.CpuSet.adaptive_poll`).
+        """
         out: List[WorkCompletion] = []
         while len(out) < max_entries:
             wc = self._store.try_get()
@@ -53,6 +60,9 @@ class CompletionQueue:
             out.append(wc)
         self.polled += len(out)
         return out
+
+    # Verbs-style alias.
+    poll_cq = poll
 
     def wait_wc(self) -> Event:
         """Event that fires with the next CQE (consumes it)."""

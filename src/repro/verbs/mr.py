@@ -64,8 +64,13 @@ class MemoryRegion:
         region, reg_off = self._backing(offset, nbytes)
         return region.read(reg_off, nbytes)
 
-    def write(self, offset: int, payload: bytes) -> None:
-        """Write real bytes into the MR's backing memory."""
+    def read_into(self, offset: int, buf) -> int:
+        """Read MR bytes straight into a caller buffer (zero-copy DMA)."""
+        region, reg_off = self._backing(offset, len(buf))
+        return region.read_into(reg_off, buf)
+
+    def write(self, offset: int, payload) -> None:
+        """Write real bytes (any bytes-like) into the MR's backing memory."""
         region, reg_off = self._backing(offset, len(payload))
         region.write(reg_off, payload)
 

@@ -149,12 +149,8 @@ class QueuePair:
         return len(self.srq if self.srq is not None else self._own_rq)
 
     # -- send side ---------------------------------------------------------
-    def post_send(self, wr: SendWR, dst: Optional[Tuple[int, int]] = None) -> Process:
-        """Post a work request; returns the in-flight op as a Process.
-
-        ``dst`` is the (node_id, qpn) address handle, required for UD and
-        ignored for connected QPs.
-        """
+    def _prepare(self, wr: SendWR, dst: Optional[Tuple[int, int]]):
+        """Validate a WR and claim its ordering-chain slot; returns dst."""
         if self.qp_type == "UD":
             if dst is None:
                 raise ValueError("UD post_send needs a destination address handle")
@@ -179,24 +175,81 @@ class QueuePair:
             predecessor = self._last_remote_done
             self._last_remote_done = self.sim.event()
             wr._order_done = self._last_remote_done
+        return dst, predecessor
+
+    def post_send(self, wr: SendWR, dst: Optional[Tuple[int, int]] = None) -> Process:
+        """Post a work request; returns the in-flight op as a Process.
+
+        ``dst`` is the (node_id, qpn) address handle, required for UD and
+        ignored for connected QPs.
+        """
+        dst, predecessor = self._prepare(wr, dst)
         return self.sim.process(
             self._execute(wr, dst, predecessor), name=f"qp{self.qpn}-send"
         )
 
-    # -- datapath ------------------------------------------------------------
-    def _gather(self, wr: SendWR) -> bytes:
-        if wr.inline_data is not None:
-            return bytes(wr.inline_data)
-        parts = [sge.mr.read(sge.offset, sge.length) for sge in wr.sgl]
-        return b"".join(parts)
+    def post_send_batch(
+        self, wrs, dst: Optional[Tuple[int, int]] = None
+    ) -> list:
+        """Post a chain of work requests behind shared doorbells.
 
-    def _scatter(self, wr: SendWR, payload: bytes) -> None:
+        Models ibv_post_send with a linked WR list (§5.2 amortization):
+        WRs are chunked by ``params.doorbell_batch``, the first WR of
+        each chunk pays the single MMIO doorbell and the followers ride
+        it.  Posting order — and therefore the RC/UC remote-execution
+        order — is preserved across the whole chain.  Returns one
+        Process per WR.  With ``doorbell_batch=1`` this is timing-
+        identical to a loop of :meth:`post_send`.
+        """
+        batch = max(1, self.device.params.doorbell_batch)
+        processes = []
+        doorbell = None
+        for index, wr in enumerate(wrs):
+            wr_dst, predecessor = self._prepare(wr, dst)
+            doorbell_wait = doorbell_fire = None
+            if batch > 1:
+                if index % batch == 0:
+                    doorbell = self.sim.event()
+                    doorbell_fire = doorbell
+                else:
+                    doorbell_wait = doorbell
+            processes.append(
+                self.sim.process(
+                    self._execute(
+                        wr, wr_dst, predecessor, doorbell_wait, doorbell_fire
+                    ),
+                    name=f"qp{self.qpn}-send",
+                )
+            )
+        return processes
+
+    # -- datapath ------------------------------------------------------------
+    def _gather(self, wr: SendWR):
+        data = wr.inline_data
+        if data is not None:
+            # Zero-copy: inline payloads pass through as-is (bytes or
+            # memoryview); the sink copies once at scatter time.
+            if isinstance(data, (bytes, memoryview)):
+                return data
+            return bytes(data)
+        sgl = wr.sgl
+        if len(sgl) == 1:
+            sge = sgl[0]
+            return sge.mr.read(sge.offset, sge.length)
+        return b"".join(sge.mr.read(sge.offset, sge.length) for sge in sgl)
+
+    def _scatter(self, wr: SendWR, payload) -> None:
         if not wr.sgl:
             wr.return_data = payload
             return
+        if len(wr.sgl) == 1 and len(payload) == wr.sgl[0].length:
+            sge = wr.sgl[0]
+            sge.mr.write(sge.offset, payload)
+            return
+        view = memoryview(payload)
         cursor = 0
         for sge in wr.sgl:
-            sge.mr.write(sge.offset, payload[cursor : cursor + sge.length])
+            sge.mr.write(sge.offset, view[cursor : cursor + sge.length])
             cursor += sge.length
 
     def _local_lookup_cost(self, wr: SendWR) -> float:
@@ -233,7 +286,8 @@ class QueuePair:
                 self.retries += 1
                 yield self.sim.timeout(self.timeout_us)
 
-    def _execute(self, wr: SendWR, dst: Tuple[int, int], predecessor=None):
+    def _execute(self, wr: SendWR, dst: Tuple[int, int], predecessor=None,
+                 doorbell_wait=None, doorbell_fire=None):
         sim, params = self.sim, self.device.params
         fabric = self.device.node.fabric
         src_node = self.device.node.node_id
@@ -249,7 +303,8 @@ class QueuePair:
                 status = WcStatus.WR_FLUSH_ERR
             else:
                 status, byte_len = yield from self._execute_rts(
-                    wr, fabric, src_node, dst_node, dst_qpn, predecessor
+                    wr, fabric, src_node, dst_node, dst_qpn, predecessor,
+                    doorbell_wait, doorbell_fire
                 )
 
             # Requester CQE.
@@ -274,14 +329,26 @@ class QueuePair:
                 done.succeed()
             if wr.delivered is not None and not wr.delivered.triggered:
                 wr.delivered.succeed(status)
+            # A batch leader that flushed before ringing must still wake
+            # its followers, or they wait on the doorbell forever.
+            if doorbell_fire is not None and not doorbell_fire.triggered:
+                doorbell_fire.succeed()
             self._sq_slots.release()
 
     def _execute_rts(self, wr: SendWR, fabric, src_node: int, dst_node: int,
-                     dst_qpn: int, predecessor):
+                     dst_qpn: int, predecessor, doorbell_wait=None,
+                     doorbell_fire=None):
         sim, params = self.sim, self.device.params
 
-        # 1. Doorbell: MMIO post over PCIe.
-        yield sim.timeout(params.rnic_doorbell_us)
+        # 1. Doorbell: MMIO post over PCIe.  In a batched post the chunk
+        # leader pays the one MMIO and rings the shared event; followers
+        # ride it for free.
+        if doorbell_wait is None:
+            yield sim.timeout(params.rnic_doorbell_us)
+            if doorbell_fire is not None:
+                doorbell_fire.succeed()
+        elif not doorbell_wait.processed:
+            yield doorbell_wait
 
         # 2. Local RNIC: lookups + payload DMA from host memory.
         payload = b""

@@ -82,6 +82,23 @@ class Sge:
 class SendWR:
     """A send-queue work request (one-sided ops, sends, atomics)."""
 
+    __slots__ = (
+        "opcode",
+        "sgl",
+        "remote_addr",
+        "rkey",
+        "imm",
+        "wr_id",
+        "signaled",
+        "compare_add",
+        "swap",
+        "inline_data",
+        "read_length",
+        "return_data",
+        "delivered",
+        "_order_done",  # QP send-ordering chain link (set by QP.post_send)
+    )
+
     _next_id = 0
 
     def __init__(
@@ -127,6 +144,7 @@ class SendWR:
         # responder (before the ACK returns) — memory-polling receivers
         # like FaRM/HERD observe data at this point, not at the CQE.
         self.delivered = None
+        self._order_done = None
 
     @property
     def length(self) -> int:
@@ -140,6 +158,8 @@ class SendWR:
 
 class RecvWR:
     """A receive-queue work request: one landing buffer."""
+
+    __slots__ = ("mr", "offset", "length", "wr_id")
 
     _next_id = 0
 

@@ -170,3 +170,43 @@ def test_property_free_always_coalesces_adjacent(data):
         mem.free(regions[index])
     assert mem.fragment_count == 1
     assert mem.largest_free == mem.capacity
+
+
+def test_sparse_read_materializes_no_blocks():
+    """Reading untouched ranges must not allocate backing blocks."""
+    mem = make_mem()
+    region = mem.alloc(1 << 20)
+    data = region.read(0, 1 << 20)
+    assert data == bytes(1 << 20)
+    assert region._blocks == {}
+
+
+def test_read_crossing_blocks_with_holes():
+    mem = make_mem()
+    region = mem.alloc(4 * 65536)
+    # Touch only the second block; read a range spanning all four.
+    region.write(65536 + 10, b"island")
+    data = region.read(65530, 3 * 65536)
+    expected = bytearray(3 * 65536)
+    expected[16 : 16 + 6] = b"island"
+    assert data == bytes(expected)
+
+
+def test_read_into_matches_read():
+    mem = make_mem()
+    region = mem.alloc(3 * 65536)
+    payload = bytes(range(256)) * 700  # 179200 B, crosses all blocks
+    region.write(100, payload)
+    buf = bytearray(len(payload))
+    n = region.read_into(100, buf)
+    assert n == len(payload)
+    assert bytes(buf) == payload == region.read(100, len(payload))
+
+
+def test_write_accepts_memoryview_slices():
+    mem = make_mem()
+    region = mem.alloc(3 * 65536)
+    backing = bytes(range(256)) * 400
+    view = memoryview(backing)[17 : 17 + 90000]
+    region.write(65000, view)
+    assert region.read(65000, 90000) == bytes(view)

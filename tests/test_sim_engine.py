@@ -367,3 +367,94 @@ def test_any_of_concurrent_failures_do_not_crash():
             return "caught"
 
     assert sim.run_process(waiter()) == "caught"
+
+
+def test_interrupt_detaches_from_old_target_without_scan():
+    """After an interrupt, the old wait target firing is ignored (the
+    callback is marked stale instead of removed, satellite fix)."""
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100, value="slept")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause))
+        value = yield sim.timeout(50, value="second-nap")
+        log.append(("woke", value))
+        return "done"
+
+    proc = sim.process(sleeper())
+
+    def poker():
+        yield sim.timeout(10)
+        proc.interrupt("poke")
+
+    sim.process(poker())
+    sim.run()  # drains the original timeout(100) too
+    assert log == [("interrupted", "poke"), ("woke", "second-nap")]
+    assert proc.value == "done"
+    assert sim.now == 100.0  # the stale timeout still fired harmlessly
+
+
+def test_interrupt_heavy_run_stays_consistent():
+    """Many interrupts against the same process: every one lands, every
+    detached event drains without resuming the process twice."""
+    sim = Simulator()
+    hits = []
+
+    def stubborn():
+        while len(hits) < 50:
+            try:
+                yield sim.timeout(1000)
+                return "timed-out"
+            except Interrupt:
+                hits.append(sim.now)
+        return "riddled"
+
+    proc = sim.process(stubborn())
+
+    def needler():
+        for _ in range(50):
+            yield sim.timeout(1)
+            proc.interrupt()
+
+    sim.process(needler())
+    sim.run()
+    assert proc.value == "riddled"
+    assert len(hits) == 50
+
+
+def test_timeout_pool_recycles_without_changing_values():
+    """Recycled Timeout objects must deliver their new value/delay."""
+    sim = Simulator()
+    seen = []
+
+    def chain():
+        for index in range(200):
+            value = yield sim.timeout(0.5, value=index)
+            seen.append(value)
+
+    sim.run_process(chain())
+    assert seen == list(range(200))
+    assert sim.now == 100.0
+    assert len(sim._timeout_pool) > 0  # the free list is actually in use
+
+
+def test_timeout_pool_never_recycles_held_references():
+    """A Timeout someone still holds is not reused underneath them."""
+    sim = Simulator()
+    held = []
+
+    def holder():
+        first = sim.timeout(1, value="keep-me")
+        held.append(first)
+        yield first
+        # Allocate more timeouts; none may be the held object.
+        for _ in range(10):
+            yield sim.timeout(1)
+        return first.value
+
+    assert sim.run_process(holder()) == "keep-me"
+    assert held[0] not in sim._timeout_pool
+    assert held[0].value == "keep-me"

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Wall-clock micro-benchmark harness for the simulator itself.
+
+Unlike ``benchmarks/`` (which reproduce the paper's *simulated-time*
+figures), this tool measures how fast the simulator runs on the host:
+ops per second of wall time, events per second, and peak RSS, over a
+fixed op mix.  Results seed the perf trajectory across PRs — each run
+is recorded under a label in a JSON file (default ``BENCH_pr3.json``)
+and a ``baseline`` vs ``current`` pair yields the speedup numbers.
+
+Usage:
+    PYTHONPATH=src python tools/bench.py                    # label "current"
+    PYTHONPATH=<seed>/src python tools/bench.py --label baseline
+    python tools/bench.py --quick                           # CI smoke run
+
+The harness only uses APIs present in the PR-2 seed, so the same file
+can be pointed (via PYTHONPATH) at any older tree to produce a
+comparable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+try:  # honor an explicit PYTHONPATH (baseline runs) before repo src
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.cluster import Cluster  # noqa: E402
+from repro.core import LiteContext, lite_boot, rpc_server_loop  # noqa: E402
+
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _peak_rss_kb() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _lite_pair(n_nodes: int = 2):
+    cluster = Cluster(n_nodes)
+    kernels = lite_boot(cluster)
+    return cluster, kernels
+
+
+def _timed_run(cluster, driver_gen):
+    """Run one driver process; returns (wall_s, sim_us, events)."""
+    sim = cluster.sim
+    seq_before = sim._seq
+    sim_before = sim.now
+    start = time.perf_counter()
+    cluster.run_process(driver_gen)
+    wall = time.perf_counter() - start
+    return wall, sim.now - sim_before, sim._seq - seq_before
+
+
+def mix_small_ops(quick: bool) -> dict:
+    """High-op-count mix: 64 B writes/reads, event-engine bound."""
+    ops = 2_000 if quick else 12_000
+    cluster, kernels = _lite_pair()
+    ctx = LiteContext(kernels[0], "bench", kernel_level=True)
+    holder = {}
+
+    def setup():
+        holder["lh"] = yield from ctx.lt_malloc(1 * MB, nodes=2)
+
+    cluster.run_process(setup())
+    lh = holder["lh"]
+    payload = b"x" * 64
+
+    def driver():
+        for index in range(ops):
+            if index & 1:
+                yield from ctx.lt_read(lh, 0, 64)
+            else:
+                yield from ctx.lt_write(lh, 0, payload)
+
+    wall, sim_us, events = _timed_run(cluster, driver())
+    return {"ops": ops, "wall_s": wall, "sim_us": sim_us, "events": events}
+
+
+def mix_large_msg(quick: bool) -> dict:
+    """Large-message throughput mix: 1 MB writes/reads, copy bound."""
+    ops = 60 if quick else 300
+    cluster, kernels = _lite_pair()
+    ctx = LiteContext(kernels[0], "bench", kernel_level=True)
+    holder = {}
+
+    def setup():
+        holder["lh"] = yield from ctx.lt_malloc(8 * MB, nodes=2)
+
+    cluster.run_process(setup())
+    lh = holder["lh"]
+    payload = bytes(1 * MB)
+
+    def driver():
+        for index in range(ops):
+            if index & 1:
+                yield from ctx.lt_read(lh, 0, 1 * MB)
+            else:
+                yield from ctx.lt_write(lh, 0, payload)
+
+    wall, sim_us, events = _timed_run(cluster, driver())
+    return {"ops": ops, "wall_s": wall, "sim_us": sim_us, "events": events}
+
+
+def mix_rpc(quick: bool) -> dict:
+    """RPC echo mix: 512 B calls through the write-imm ring."""
+    ops = 1_000 if quick else 5_000
+    cluster, kernels = _lite_pair()
+    client = LiteContext(kernels[0], "cli")
+    server = LiteContext(kernels[1], "srv")
+    cluster.sim.process(rpc_server_loop(server, 1, lambda data: data))
+    payload = b"r" * 512
+
+    def driver():
+        yield cluster.sim.timeout(5)
+        for _ in range(ops):
+            yield from client.lt_rpc(2, 1, payload, max_reply=1024)
+
+    wall, sim_us, events = _timed_run(cluster, driver())
+    return {"ops": ops, "wall_s": wall, "sim_us": sim_us, "events": events}
+
+
+MIXES = {
+    "small_ops": mix_small_ops,
+    "large_msg": mix_large_msg,
+    "rpc": mix_rpc,
+}
+
+
+def run_all(quick: bool) -> dict:
+    results = {}
+    for name, fn in MIXES.items():
+        sample = fn(quick)
+        sample["ops_per_s"] = sample["ops"] / sample["wall_s"]
+        sample["events_per_s"] = sample["events"] / sample["wall_s"]
+        results[name] = sample
+        print(
+            f"  {name:>10}: {sample['ops']:>6} ops in {sample['wall_s']:.3f} s "
+            f"({sample['ops_per_s']:,.0f} ops/s, "
+            f"{sample['events_per_s']:,.0f} events/s)"
+        )
+    results["peak_rss_kb"] = _peak_rss_kb()
+    print(f"  peak RSS: {results['peak_rss_kb']:,} KB")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small op counts (CI smoke run)")
+    parser.add_argument("--label", default="current",
+                        help="key to record results under (default: current)")
+    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_pr3.json"),
+                        help="JSON results file (merged, not overwritten)")
+    args = parser.parse_args(argv)
+
+    print(f"bench: label={args.label} quick={args.quick}")
+    results = run_all(args.quick)
+    results["quick"] = args.quick
+
+    doc = {}
+    if os.path.exists(args.out):
+        try:
+            with open(args.out) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+    doc[args.label] = results
+    base, cur = doc.get("baseline"), doc.get("current")
+    if base and cur:
+        speedups = {}
+        for name in MIXES:
+            if name in base and name in cur:
+                speedups[name] = base[name]["wall_s"] / cur[name]["wall_s"]
+        doc["speedup"] = speedups
+        for name, factor in speedups.items():
+            print(f"  speedup[{name}]: {factor:.2f}x")
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@ from .core import (
     rpc_server_loop,
 )
 from .hw import DEFAULT_PARAMS, SimParams
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    install_tracer,
+    set_enabled,
+    uninstall_tracer,
+)
 
 __version__ = "1.0.0"
 
@@ -33,5 +40,10 @@ __all__ = [
     "DEFAULT_PARAMS",
     "FaultPlan",
     "FaultInjector",
+    "Tracer",
+    "MetricsRegistry",
+    "install_tracer",
+    "uninstall_tracer",
+    "set_enabled",
     "__version__",
 ]

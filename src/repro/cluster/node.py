@@ -30,7 +30,7 @@ class Node:
         self.params = params
         self.fabric = fabric
         self.memory = HostMemory(node_id, capacity=dram_bytes)
-        self.cpu = CpuSet(sim, params)
+        self.cpu = CpuSet(sim, params, node_id=node_id)
         self.rnic = Rnic(sim, node_id, params)
         self.port = fabric.attach(node_id)
         fabric.nodes[node_id] = self

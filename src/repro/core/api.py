@@ -14,6 +14,7 @@ import base64
 import itertools
 from typing import List, Optional, Sequence, Union
 
+from ..obs.trace import traced_op
 from .kernel import LiteError, LiteKernel
 from .lmr import ChunkInfo, LmrHandle, MappedLmr, MasterRecord, Permission
 from .protocol import MsgType
@@ -67,15 +68,27 @@ class LiteContext:
         if self.kernel_level:
             return
         cost = self.params.lite_syscall_enter_us
+        tracer = self.sim.tracer
+        span = (tracer.begin("syscall.crossing", node=self.kernel.lite_id,
+                             direction="enter")
+                if tracer is not None else None)
         yield self.sim.timeout(cost)
         self.kernel.node.cpu.charge(self._tag, cost)
+        if span is not None:
+            tracer.end(span)
 
     def _exit(self):
         if self.kernel_level:
             return
         cost = self.params.lite_sharedpage_return_us
+        tracer = self.sim.tracer
+        span = (tracer.begin("syscall.crossing", node=self.kernel.lite_id,
+                             direction="return")
+                if tracer is not None else None)
         yield self.sim.timeout(cost)
         self.kernel.node.cpu.charge(self._tag, cost)
+        if span is not None:
+            tracer.end(span)
 
     def _waiter(self):
         """Reply-wait strategy: adaptive for user level, plain in kernel."""
@@ -93,12 +106,18 @@ class LiteContext:
     def _metadata(self):
         """Kernel-side lh mapping + permission check cost (§5.3)."""
         cost = self.params.lite_metadata_us
+        tracer = self.sim.tracer
+        span = (tracer.begin("kernel.lookup", node=self.kernel.lite_id)
+                if tracer is not None else None)
         yield self.sim.timeout(cost)
         self.kernel.node.cpu.charge("lite-meta", cost)
+        if span is not None:
+            tracer.end(span)
 
     # ------------------------------------------------------------------
     # Memory management: LT_malloc / LT_free / LT_map / LT_unmap
     # ------------------------------------------------------------------
+    @traced_op("op.lt_malloc", nbytes=lambda a: a[0])
     def lt_malloc(
         self,
         size: int,
@@ -157,6 +176,7 @@ class LiteContext:
         base, extra = divmod(size, parts)
         return [base + (1 if index < extra else 0) for index in range(parts)]
 
+    @traced_op("op.lt_free")
     def lt_free(self, lh: LmrHandle):
         """Free an LMR (generator).  Requires MASTER; notifies mappers."""
         mapping = lh.require(self, Permission.MASTER)
@@ -199,6 +219,7 @@ class LiteContext:
         lh.valid = False
         yield from self._exit()
 
+    @traced_op("op.lt_map")
     def lt_map(self, name: str, perm: Permission = Permission.READ | Permission.WRITE):
         """Open an LMR by name (generator; returns a fresh lh, §4.1)."""
         kernel = self.kernel
@@ -236,6 +257,7 @@ class LiteContext:
         yield from self._exit()
         return handle
 
+    @traced_op("op.lt_unmap")
     def lt_unmap(self, lh: LmrHandle):
         """Close an lh: drop local metadata, tell the master (generator)."""
         mapping = lh.require(self, Permission.NONE)
@@ -258,6 +280,7 @@ class LiteContext:
                 record.mapped_by.discard(kernel.lite_id)
         yield from self._exit()
 
+    @traced_op("op.lt_move")
     def lt_move(self, lh: LmrHandle, new_nodes: Union[int, Sequence[int]]):
         """Master API (§4.1): migrate an LMR's data to other node(s).
 
@@ -341,6 +364,7 @@ class LiteContext:
                 )
         yield from self._exit()
 
+    @traced_op("op.lt_grant")
     def lt_grant(self, name: str, grantee: str, perm: Permission):
         """Master API: grant ``perm`` on LMR ``name`` to another principal."""
         kernel = self.kernel
@@ -363,6 +387,7 @@ class LiteContext:
     # ------------------------------------------------------------------
     # One-sided memory ops: LT_read / LT_write
     # ------------------------------------------------------------------
+    @traced_op("op.lt_write", nbytes=lambda a: len(a[2]))
     def lt_write(self, lh: LmrHandle, offset: int, data: bytes):
         """RDMA write into an LMR (generator; returns when data landed)."""
         mapping = lh.require(self, Permission.WRITE)
@@ -371,6 +396,7 @@ class LiteContext:
         yield from self.kernel.onesided.write(mapping, offset, data, self.priority)
         yield from self._exit()
 
+    @traced_op("op.lt_read", nbytes=lambda a: a[2])
     def lt_read(self, lh: LmrHandle, offset: int, nbytes: int):
         """RDMA read from an LMR (generator; returns the bytes)."""
         mapping = lh.require(self, Permission.READ)
@@ -382,6 +408,7 @@ class LiteContext:
         yield from self._exit()
         return data
 
+    @traced_op("op.lt_write_vec", nbytes=lambda a: sum(len(d) for _, _, d in a[0]))
     def lt_write_vec(self, ops):
         """Vector LT_write: many ``(lh, offset, data)`` in one call (§5.2).
 
@@ -401,6 +428,7 @@ class LiteContext:
         yield from self.kernel.onesided.write_vec(plan, self.priority)
         yield from self._exit()
 
+    @traced_op("op.lt_read_vec", nbytes=lambda a: sum(n for _, _, n in a[0]))
     def lt_read_vec(self, ops):
         """Vector LT_read: many ``(lh, offset, nbytes)`` in one call.
 
@@ -422,6 +450,7 @@ class LiteContext:
     # ------------------------------------------------------------------
     # Memory-like extended ops (§7.1)
     # ------------------------------------------------------------------
+    @traced_op("op.lt_memset", nbytes=lambda a: a[3])
     def lt_memset(self, lh: LmrHandle, offset: int, value: int, nbytes: int):
         """Set a range of an LMR to ``value`` (executed at the data)."""
         mapping = lh.require(self, Permission.WRITE)
@@ -448,6 +477,7 @@ class LiteContext:
             yield from kernel.ctrl_request(executor, msg)
         yield from self._exit()
 
+    @traced_op("op.lt_memcpy", nbytes=lambda a: a[4])
     def lt_memcpy(self, src: LmrHandle, src_off: int, dst: LmrHandle,
                   dst_off: int, nbytes: int):
         """Copy between LMRs; routed to the node holding the source (§7.1)."""
@@ -480,6 +510,7 @@ class LiteContext:
             yield from kernel.onesided.write(dst_map, dst_off, data)
         yield from self._exit()
 
+    @traced_op("op.lt_memmove", nbytes=lambda a: a[4])
     def lt_memmove(self, src: LmrHandle, src_off: int, dst: LmrHandle,
                    dst_off: int, nbytes: int):
         """Same data motion as lt_memcpy (overlap-safe by gather-then-write)."""
@@ -492,6 +523,7 @@ class LiteContext:
         """LT_regRPC: make ``func_id`` receivable on this node."""
         self.kernel.rpc.register(func_id)
 
+    @traced_op("op.lt_rpc", nbytes=lambda a: len(a[2]))
     def lt_rpc(self, server_id: int, func_id: int, data: bytes,
                max_reply: int = 4096, timeout: Optional[float] = None,
                retries: int = 0):
@@ -511,6 +543,7 @@ class LiteContext:
         yield from self._exit()
         return reply
 
+    @traced_op("op.lt_multicast_rpc", nbytes=lambda a: len(a[2]))
     def lt_multicast_rpc(self, server_ids: Sequence[int], func_id: int,
                          data: bytes, max_reply: int = 4096):
         """Extension (§8.4): the same RPC to many servers, gather replies."""
@@ -529,6 +562,7 @@ class LiteContext:
         yield from self._exit()
         return [results[index] for index in range(len(server_ids))]
 
+    @traced_op("op.lt_recv_rpc")
     def lt_recv_rpc(self, func_id: int):
         """LT_recvRPC: block for the next call to ``func_id`` (generator)."""
         yield from self._enter()
@@ -542,12 +576,14 @@ class LiteContext:
         yield from self._exit()
         return call
 
+    @traced_op("op.lt_reply_rpc", nbytes=lambda a: len(a[1]))
     def lt_reply_rpc(self, call, data: bytes):
         """LT_replyRPC: send the return value (generator; does not wait)."""
         yield from self._enter()
         yield from self.kernel.rpc.reply(call, data)
         yield from self._exit()
 
+    @traced_op("op.lt_reply_recv", nbytes=lambda a: len(a[1]))
     def lt_reply_recv(self, call, data: bytes, func_id: int):
         """Optimized reply-then-receive (§5.2): one crossing for both."""
         yield from self._enter()
@@ -562,6 +598,7 @@ class LiteContext:
         yield from self._exit()
         return next_call
 
+    @traced_op("op.lt_send", nbytes=lambda a: len(a[1]))
     def lt_send(self, dst_id: int, data: bytes):
         """LT_send: one-way message to a remote node (generator)."""
         yield from self._enter()
@@ -573,6 +610,7 @@ class LiteContext:
         )
         yield from self._exit()
 
+    @traced_op("op.lt_recv_msg")
     def lt_recv_msg(self):
         """Receive the next LT_send message: returns (src_id, bytes)."""
         yield from self._enter()
@@ -601,6 +639,7 @@ class LiteContext:
         owner = handle.mapping.chunks[0].node_id
         return LiteLock(name, owner, handle)
 
+    @traced_op("op.lt_lock")
     def lt_lock(self, lock: LiteLock):
         """Acquire: one fetch-add fast path, FIFO wait queue otherwise."""
         mapping = lock.handle.require(self, Permission.WRITE)
@@ -616,6 +655,7 @@ class LiteContext:
                 )
         yield from self._exit()
 
+    @traced_op("op.lt_unlock")
     def lt_unlock(self, lock: LiteLock):
         """Release: decrement; wake the FIFO-next waiter if any."""
         mapping = lock.handle.require(self, Permission.WRITE)
@@ -635,6 +675,7 @@ class LiteContext:
                 )
         yield from self._exit()
 
+    @traced_op("op.lt_barrier")
     def lt_barrier(self, name: str, n: int, owner_id: Optional[int] = None):
         """LT_barrier: wait until ``n`` participants reached ``name``."""
         owner = owner_id if owner_id is not None else min(
@@ -650,6 +691,7 @@ class LiteContext:
             )
         yield from self._exit()
 
+    @traced_op("op.lt_fetch_add")
     def lt_fetch_add(self, lh: LmrHandle, offset: int, delta: int):
         """Atomic fetch-and-add on an 8-byte LMR word (generator)."""
         mapping = lh.require(self, Permission.WRITE)
@@ -660,6 +702,7 @@ class LiteContext:
         yield from self._exit()
         return old
 
+    @traced_op("op.lt_test_set")
     def lt_test_set(self, lh: LmrHandle, offset: int, expected: int, value: int):
         """Atomic compare-and-swap on an 8-byte LMR word (generator)."""
         mapping = lh.require(self, Permission.WRITE)

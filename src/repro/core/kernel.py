@@ -279,6 +279,27 @@ class LiteKernel:
         (capped at 8x); the peer suppresses duplicates via its reply
         cache.  Raises ``LiteError(errno=ETIMEDOUT)`` on exhaustion.
         """
+        tracer = self.sim.tracer
+        if tracer is None:
+            return (yield from self._ctrl_request_impl(
+                dst_lite_id, msg, timeout, retries, check_alive
+            ))
+        span = tracer.begin("ctrl.request", node=self.lite_id,
+                            dst=dst_lite_id, msg=str(msg.get("type", "?")))
+        try:
+            reply = yield from self._ctrl_request_impl(
+                dst_lite_id, msg, timeout, retries, check_alive
+            )
+        except BaseException as exc:
+            tracer.end(span, outcome="err:" + type(exc).__name__)
+            raise
+        tracer.end(span)
+        return reply
+
+    def _ctrl_request_impl(self, dst_lite_id: int, msg: dict,
+                           timeout: Optional[float],
+                           retries: Optional[int],
+                           check_alive: bool):
         if timeout is None and self.ctrl_timeout_us > 0:
             timeout = self.ctrl_timeout_us
         if retries is None:
@@ -370,6 +391,10 @@ class LiteKernel:
 
     def _dispatch_wc(self, wc) -> None:
         """Demultiplex one receive-side CQE (control msg or RPC imm)."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("kernel.dispatch", node=self.lite_id,
+                           opcode=wc.opcode.value)
         if wc.opcode is Opcode.RECV:
             slot = wc.wr_id
             if not wc.ok:

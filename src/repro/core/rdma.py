@@ -71,6 +71,13 @@ class OneSidedEngine:
         max_retries = 0 if wr.opcode in _ATOMIC_OPS else params.lite_retry_cnt
         backoff = params.lite_retry_backoff_us
         attempts = 0
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            # Covers QP-window wait + every transport attempt + backoffs.
+            span = tracer.begin("kernel.post", node=kernel.lite_id,
+                                nbytes=wr.length, peer=peer_id,
+                                opcode=wr.opcode.value)
         while True:
             peer = kernel.peer(peer_id)
             qp, window = kernel.qos.pick_qp(peer, priority)
@@ -81,11 +88,15 @@ class OneSidedEngine:
             finally:
                 window.release()
             if status not in _RETRYABLE:
+                if span is not None:
+                    tracer.end(span, outcome=status.value)
                 return status
             attempts += 1
             if attempts > max_retries:
                 if kernel.keepalive_running:
                     peer.alive = False
+                if span is not None:
+                    tracer.end(span, outcome="timeout")
                 raise LiteError(
                     f"one-sided {wr.opcode.value} to LITE {peer_id} failed "
                     f"after {attempts} attempt(s): {status.value}",

@@ -230,6 +230,26 @@ class RpcEngine:
         ``deadline`` the wait is bounded (a dead server stops advancing
         its head, and waiting forever would turn a crash into a hang).
         """
+        tracer = self.sim.tracer
+        if tracer is None:
+            yield from self._append_request_impl(
+                ring, server_id, func_id, payload, msg_len, priority, deadline
+            )
+            return
+        span = tracer.begin("rpc.append", node=self.kernel.lite_id,
+                            nbytes=msg_len, dst=server_id)
+        try:
+            yield from self._append_request_impl(
+                ring, server_id, func_id, payload, msg_len, priority, deadline
+            )
+        except BaseException as exc:
+            tracer.end(span, outcome="err:" + type(exc).__name__)
+            raise
+        tracer.end(span)
+
+    def _append_request_impl(self, ring, server_id: int, func_id: int,
+                             payload: bytes, msg_len: int, priority: int,
+                             deadline: Optional[float]):
         while ring.free_space() < msg_len:
             if deadline is not None and self.sim.now >= deadline:
                 raise RpcTimeoutError(
@@ -313,6 +333,10 @@ class RpcEngine:
                     self.calls_retried += 1
                 # Wait for the reply write-imm; send state is never
                 # polled (§5.1).
+                tracer = self.sim.tracer
+                wspan = (tracer.begin("rpc.wait", node=kernel.lite_id,
+                                      dst=server_id)
+                         if tracer is not None else None)
                 if timeout is None:
                     if waiter is None:
                         yield pending.event
@@ -331,6 +355,10 @@ class RpcEngine:
                         timer.cancel()
                 elif self.sim.now < deadline:
                     yield self.sim.timeout(deadline - self.sim.now)
+                if wspan is not None:
+                    tracer.end(wspan, outcome=(
+                        "reply" if pending.event.triggered else "timeout"
+                    ))
                 if pending.event.triggered:
                     break
                 window = min(window * 2, timeout * 8)
@@ -373,6 +401,10 @@ class RpcEngine:
         reply_addr, token, input_len, max_reply = struct.unpack("<QIII", header)
         input_bytes = ring.read_wrapped(pos + REQ_HEADER_BYTES, input_len)
         msg_len = REQ_HEADER_BYTES + input_len
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("rpc.request.arrive", node=self.kernel.lite_id,
+                           nbytes=msg_len, func=func_id)
         ring.head_virtual += msg_len
         ring.bytes_received += msg_len
         # Background header-pointer update to the client (step f).  With
@@ -475,9 +507,15 @@ class RpcEngine:
         """Kernel half of LT_recvRPC: stack cost + the single data move."""
         cost = self.params.lite_recv_stack_us
         cost += len(call.input) / self.params.memcpy_bytes_per_us
+        tracer = self.sim.tracer
+        span = (tracer.begin("rpc.recv_stack", node=self.kernel.lite_id,
+                             nbytes=len(call.input))
+                if tracer is not None else None)
         yield self.sim.timeout(cost)
         self.kernel.node.cpu.charge("lite-rpc-recv", cost)
         self.calls_served += 1
+        if span is not None:
+            tracer.end(span)
         return call
 
     def reply(self, call: RpcCall, data: bytes):
@@ -485,6 +523,10 @@ class RpcEngine:
         if call.replied:
             raise RpcError("RPC call already replied")
         call.replied = True
+        tracer = self.sim.tracer
+        span = (tracer.begin("rpc.reply_stack", node=self.kernel.lite_id,
+                             nbytes=len(data))
+                if tracer is not None else None)
         yield self.sim.timeout(self.params.lite_reply_stack_us)
         self.kernel.node.cpu.charge("lite-rpc-reply", self.params.lite_reply_stack_us)
         key = (call.client_id, call.token)
@@ -494,3 +536,5 @@ class RpcEngine:
             payload = struct.pack("<II", _STATUS_OK, len(data)) + data
         self._cache_reply(key, call.reply_addr, payload)
         self._send_reply(call.client_id, call.reply_addr, payload, call.token)
+        if span is not None:
+            tracer.end(span)

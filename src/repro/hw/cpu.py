@@ -25,9 +25,11 @@ __all__ = ["CpuSet"]
 class CpuSet:
     """A node's cores plus per-tag busy-time ledger."""
 
-    def __init__(self, sim: Simulator, params: SimParams, cores: Optional[int] = None):
+    def __init__(self, sim: Simulator, params: SimParams,
+                 cores: Optional[int] = None, node_id: Optional[int] = None):
         self.sim = sim
         self.params = params
+        self.node_id = node_id
         self.cores = cores if cores is not None else params.cores_per_node
         self._resource = Resource(sim, capacity=self.cores)
         self.busy_time: Dict[str, float] = defaultdict(float)
@@ -52,12 +54,19 @@ class CpuSet:
         """Occupy one core for ``duration`` µs (queues if all busy)."""
         if duration < 0:
             raise ValueError(f"negative execute duration: {duration}")
-        yield self._resource.request()
+        tracer = self.sim.tracer
+        span = (tracer.begin("cpu.execute", node=self.node_id, tag=tag)
+                if tracer is not None else None)
         try:
-            yield self.sim.timeout(duration)
-            self.busy_time[tag] += duration
+            yield self._resource.request()
+            try:
+                yield self.sim.timeout(duration)
+                self.busy_time[tag] += duration
+            finally:
+                self._resource.release()
         finally:
-            self._resource.release()
+            if span is not None:
+                tracer.end(span)
 
     # -- wait strategies --------------------------------------------------
     def busy_wait(self, event: Event, tag: str = "poll"):
@@ -66,13 +75,20 @@ class CpuSet:
         Returns the event's value.  Adds half a poll-loop iteration of
         latency (average discovery delay of a polling loop).
         """
-        start = self.sim.now
-        value = yield event
-        self.busy_time[tag] += self.sim.now - start
-        discover = self.params.poll_loop_us / 2
-        yield self.sim.timeout(discover)
-        self.busy_time[tag] += discover
-        return value
+        tracer = self.sim.tracer
+        span = (tracer.begin("cpu.wait", node=self.node_id, strategy="busy")
+                if tracer is not None else None)
+        try:
+            start = self.sim.now
+            value = yield event
+            self.busy_time[tag] += self.sim.now - start
+            discover = self.params.poll_loop_us / 2
+            yield self.sim.timeout(discover)
+            self.busy_time[tag] += discover
+            return value
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     def adaptive_wait(self, event: Event, tag: str = "adaptive"):
         """LITE's busy-check-then-sleep wait (§5.2).
@@ -81,6 +97,16 @@ class CpuSet:
         if the result is not ready by then, sleeps and pays the thread
         wakeup latency when the event finally fires.
         """
+        tracer = self.sim.tracer
+        if tracer is None:
+            return (yield from self._adaptive_wait_impl(event, tag))
+        span = tracer.begin("cpu.wait", node=self.node_id, strategy="adaptive")
+        try:
+            return (yield from self._adaptive_wait_impl(event, tag))
+        finally:
+            tracer.end(span)
+
+    def _adaptive_wait_impl(self, event, tag):
         params = self.params
         start = self.sim.now
         value = yield event
@@ -118,7 +144,14 @@ class CpuSet:
 
     def sleep_wait(self, event: Event, tag: str = "sleep"):
         """Block immediately; pay only wakeup latency and cost."""
-        value = yield event
-        yield self.sim.timeout(self.params.thread_wakeup_us)
-        self.busy_time[tag] += self.params.thread_wakeup_us
-        return value
+        tracer = self.sim.tracer
+        span = (tracer.begin("cpu.wait", node=self.node_id, strategy="sleep")
+                if tracer is not None else None)
+        try:
+            value = yield event
+            yield self.sim.timeout(self.params.thread_wakeup_us)
+            self.busy_time[tag] += self.params.thread_wakeup_us
+            return value
+        finally:
+            if span is not None:
+                tracer.end(span)

@@ -119,6 +119,22 @@ class Fabric:
         Raises :class:`LinkDownError` / :class:`TransferDropped` after
         paying the wire time when the transfer cannot be delivered.
         """
+        tracer = self.sim.tracer
+        if tracer is None:
+            yield from self._transfer_impl(src, dst, nbytes, flow)
+            return
+        span = tracer.begin("fabric.hop", node=src, nbytes=nbytes, dst=dst)
+        try:
+            yield from self._transfer_impl(src, dst, nbytes, flow)
+        except TransferDropped:
+            tracer.end(span, outcome="dropped")
+            raise
+        except BaseException as exc:
+            tracer.end(span, outcome="err:" + type(exc).__name__)
+            raise
+        tracer.end(span)
+
+    def _transfer_impl(self, src: int, dst: int, nbytes: int, flow: object):
         src_port = self._require_port(src)
         dst_port = self._require_port(dst)
         if nbytes < 0:
@@ -147,6 +163,12 @@ class Fabric:
         # Acquire egress then ingress (fixed order; a transfer waits on at
         # most one resource while holding the other, so no cycles).
         yield src_port.tx.request(flow)
+        # fabric.serialize = TX-channel occupancy: from winning the egress
+        # link until releasing it (includes any ingress-side stall, since
+        # the egress link is held across it).
+        tracer = self.sim.tracer
+        ser = (tracer.begin("fabric.serialize", node=src, nbytes=nbytes)
+               if tracer is not None else None)
         try:
             if dropped:
                 # The frame still serializes out of the sender, then dies
@@ -159,6 +181,8 @@ class Fabric:
                 finally:
                     dst_port.rx.release()
         finally:
+            if ser is not None:
+                tracer.end(ser)
             src_port.tx.release()
         yield self.sim.timeout(params.one_way_fabric_us())
         if dropped:

@@ -162,6 +162,10 @@ class PhysRegion:
 class HostMemory:
     """First-fit physical allocator over a node's DRAM."""
 
+    # Observability hook: install_tracer() points this at the cluster's
+    # Tracer per instance (HostMemory has no simulator reference).
+    tracer = None
+
     def __init__(self, node_id: int, capacity: int = 128 * 1024 * 1024 * 1024):
         self.node_id = node_id
         self.capacity = capacity
@@ -186,6 +190,9 @@ class HostMemory:
                 region = PhysRegion(self.node_id, addr, size)
                 self._live[addr] = region
                 bisect.insort(self._live_addrs, addr)
+                if self.tracer is not None:
+                    self.tracer.instant("mem.alloc", node=self.node_id,
+                                        nbytes=size, addr=addr)
                 return region
         raise OutOfMemoryError(
             f"node {self.node_id}: no contiguous {size} B extent "
@@ -204,6 +211,9 @@ class HostMemory:
         index = bisect.bisect_left(self._live_addrs, region.addr)
         del self._live_addrs[index]
         self._insert_free(region.addr, region.size)
+        if self.tracer is not None:
+            self.tracer.instant("mem.free", node=self.node_id,
+                                nbytes=region.size, addr=region.addr)
 
     def resolve(self, addr: int, nbytes: int = 0) -> Tuple[PhysRegion, int]:
         """Map a physical address to (live region, offset within it).

@@ -44,23 +44,39 @@ class Rnic:
     # -- SRAM lookup costs (computed eagerly, spent inside process()) ---
     def key_lookup_cost(self, key: int) -> float:
         """Cost of locating one MR record in SRAM."""
-        if self.key_cache.access(key):
-            return 0.0
-        return self.params.mr_key_miss_penalty_us
+        hit = self.key_cache.access(key)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("rnic.cache.hit" if hit else "rnic.cache.miss",
+                           node=self.node_id, cache="key")
+        return 0.0 if hit else self.params.mr_key_miss_penalty_us
 
     def pte_lookup_cost(self, page_ids: Sequence) -> float:
         """Cost of resolving the PTEs for every page an access touches."""
         cost = 0.0
+        hits = misses = 0
         for page in page_ids:
-            if not self.pte_cache.access(page):
+            if self.pte_cache.access(page):
+                hits += 1
+            else:
+                misses += 1
                 cost += self.params.pte_miss_penalty_us
+        tracer = self.sim.tracer
+        if tracer is not None and (hits or misses):
+            # One summary marker per access, not one per page.
+            tracer.instant("rnic.cache.miss" if misses else "rnic.cache.hit",
+                           node=self.node_id, cache="pte",
+                           hits=hits, misses=misses)
         return cost
 
     def qp_lookup_cost(self, qp_id: int) -> float:
         """Cost of resolving one QP's connection state in SRAM."""
-        if self.qp_cache.access(qp_id):
-            return 0.0
-        return self.params.qp_miss_penalty_us
+        hit = self.qp_cache.access(qp_id)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("rnic.cache.hit" if hit else "rnic.cache.miss",
+                           node=self.node_id, cache="qp")
+        return 0.0 if hit else self.params.qp_miss_penalty_us
 
     def invalidate_mr(self, key: int, page_ids: Iterable = ()) -> None:
         """Deregistration drops the MR record and its cached PTEs."""
@@ -78,15 +94,40 @@ class Rnic:
         """
         params = self.params
         duration = params.rnic_wqe_process_us + extra_cost
+        dma_time = 0.0
         if dma_bytes:
-            duration += params.dma_time(dma_bytes)
+            dma_time = params.dma_time(dma_bytes)
+            duration += dma_time
             self.bytes_dma += dma_bytes
-        yield self._pipeline.request()
+        tracer = self.sim.tracer
+        if tracer is None:
+            yield self._pipeline.request()
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self._pipeline.release()
+            self.wqe_count += 1
+            return
+        # rnic.proc covers pipeline-queue wait + occupancy; q_us records
+        # the queue-wait share so consumers can isolate pure occupancy.
+        span = tracer.begin("rnic.proc", node=self.node_id, nbytes=dma_bytes,
+                            lookup_us=extra_cost)
         try:
-            yield self.sim.timeout(duration)
-        finally:
-            self._pipeline.release()
+            yield self._pipeline.request()
+            span.attrs["q_us"] = self.sim.now - span.start
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self._pipeline.release()
+        except BaseException as exc:
+            tracer.end(span, outcome="err:" + type(exc).__name__)
+            raise
         self.wqe_count += 1
+        if dma_time:
+            # The DMA burns the tail of the occupancy window.
+            tracer.interval("rnic.dma", self.sim.now - dma_time, self.sim.now,
+                            node=self.node_id, nbytes=dma_bytes, parent=span)
+        tracer.end(span)
 
     def reset_stats(self) -> None:
         """Zero cache stats and op counters."""

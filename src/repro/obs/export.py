@@ -1,0 +1,152 @@
+"""Trace exporters: deterministic JSONL and Chrome trace_event format.
+
+JSONL records use a fixed key order and compact separators so that two
+identical simulated runs serialize to byte-identical files — the
+determinism tests diff the raw bytes.  The Chrome format loads directly
+into Perfetto / chrome://tracing (ts/dur in microseconds, pid = node,
+tid = op id).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .trace import Span, Tracer
+
+__all__ = [
+    "span_record",
+    "to_jsonl",
+    "write_jsonl",
+    "load_jsonl",
+    "spans_from_records",
+    "ReplayTrace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def span_record(span: Span) -> Dict[str, Any]:
+    """One span as a plain dict with a fixed, deterministic key order."""
+    rec: Dict[str, Any] = {
+        "sid": span.sid,
+        "parent": span.parent.sid if span.parent is not None else None,
+        "op": span.op,
+        "name": span.name,
+        "node": span.node,
+        "start": span.start,
+        "end": span.end,
+        "dur": None if span.end is None else span.end - span.start,
+        "nbytes": span.nbytes,
+        "outcome": span.outcome if span.end is not None else "unfinished",
+    }
+    if span.late:
+        rec["late"] = True
+    if span.attrs:
+        rec["attrs"] = {k: span.attrs[k] for k in sorted(span.attrs)}
+    return rec
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """All spans as newline-delimited compact JSON (record order =
+    span-open order, which is deterministic)."""
+    lines = [
+        json.dumps(span_record(s), separators=(",", ":"))
+        for s in tracer.spans
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path) -> None:
+    """Write the JSONL export to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_jsonl(tracer))
+
+
+def load_jsonl(path) -> List[Dict[str, Any]]:
+    """Read a JSONL export back into a list of record dicts."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def spans_from_records(records: List[Dict[str, Any]]) -> List[Span]:
+    """Rebuild :class:`Span` objects (with parent links) from records."""
+    by_sid: Dict[int, Span] = {}
+    spans: List[Span] = []
+    for rec in records:
+        parent = by_sid.get(rec["parent"]) if rec["parent"] is not None \
+            else None
+        span = Span(rec["sid"], parent, rec["name"], rec["node"],
+                    rec["op"], rec["start"], rec["nbytes"],
+                    dict(rec["attrs"]) if rec.get("attrs") else None)
+        span.end = rec["end"]
+        span.outcome = None if rec["outcome"] == "unfinished" \
+            else rec["outcome"]
+        span.late = bool(rec.get("late"))
+        by_sid[span.sid] = span
+        spans.append(span)
+    return spans
+
+
+class ReplayTrace:
+    """A loaded trace that quacks like a Tracer for the report functions
+    (``op_roots`` / ``children_index`` over a fixed span list)."""
+
+    def __init__(self, spans: List[Span]):
+        self.spans = spans
+
+    op_roots = Tracer.op_roots
+    children_index = Tracer.children_index
+
+    @classmethod
+    def from_jsonl(cls, path) -> "ReplayTrace":
+        return cls(spans_from_records(load_jsonl(path)))
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Chrome ``trace_event`` JSON (Perfetto-loadable).
+
+    Each node becomes a process; each op id becomes a thread, so one
+    op's spans stack into a flame graph.  Unfinished spans are skipped
+    (the viewer cannot render open intervals).
+    """
+    events: List[Dict[str, Any]] = []
+    nodes = sorted({s.node for s in tracer.spans if s.node is not None})
+    for node in nodes:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": node,
+            "tid": 0,
+            "args": {"name": f"node-{node}"},
+        })
+    for span in tracer.spans:
+        if span.end is None:
+            continue
+        args: Dict[str, Any] = {"outcome": span.outcome}
+        if span.nbytes:
+            args["nbytes"] = span.nbytes
+        if span.attrs:
+            for key in sorted(span.attrs):
+                args[key] = span.attrs[key]
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start,
+            "dur": span.end - span.start,
+            "pid": span.node if span.node is not None else -1,
+            "tid": span.op if span.op is not None else 0,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(tracer: Tracer, path) -> None:
+    """Write the Chrome trace_event export to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(tracer), fh, separators=(",", ":"))

@@ -1,0 +1,157 @@
+"""Latency-breakdown reports computed from span trees.
+
+Reproduces the paper's §5.2-style decomposition (crossings, metadata
+lookup, doorbell, RNIC processing, DMA, wire time, completion, ...)
+directly from recorded spans instead of hand-derived parameter
+arithmetic.  The attribution is an exact partition: for every instant
+inside an op, the deepest span active at that instant claims it, so the
+per-category times sum to the op's end-to-end latency by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .trace import Span, Tracer
+
+__all__ = [
+    "CATEGORY_OF",
+    "categorize",
+    "op_breakdown",
+    "aggregate_breakdown",
+    "format_breakdown",
+]
+
+# Span name -> breakdown category.  "Residual" categories (qp.wqe,
+# rnic.proc, fabric.hop, ...) only claim time not covered by a deeper
+# span, because the sweep always prefers the deepest active span.
+CATEGORY_OF: Dict[str, str] = {
+    "syscall.crossing": "user-kernel crossings",
+    "kernel.lookup": "kernel metadata lookup",
+    "kernel.post": "post / QP window",
+    "qp.doorbell": "doorbell",
+    "qp.wqe": "transport (ack/order)",
+    "rnic.proc": "RNIC processing",
+    "rnic.dma": "DMA",
+    "fabric.serialize": "wire serialization",
+    "fabric.hop": "propagation + switch",
+    "cq.completion": "completion",
+    "cpu.execute": "cpu compute",
+    "cpu.wait": "reply wait / poll",
+    "rpc.wait": "reply wait / poll",
+    "rpc.append": "post / QP window",
+    "rpc.recv_stack": "RPC kernel stacks",
+    "rpc.reply_stack": "RPC kernel stacks",
+    "ctrl.request": "control-plane RPC",
+}
+
+_UNCOVERED = "uncovered / wait"
+
+
+def categorize(name: str) -> str:
+    """Breakdown category for a span name."""
+    if name.startswith("op."):
+        return "nested op"
+    return CATEGORY_OF.get(name, "other")
+
+
+def _descendants(root: Span, tracer: Tracer) -> List[Span]:
+    """Finished, non-instant descendants of ``root`` (root excluded)."""
+    index = tracer.children_index()
+    out: List[Span] = []
+    stack = list(index.get(root.sid, ()))
+    while stack:
+        span = stack.pop()
+        stack.extend(index.get(span.sid, ()))
+        if span.end is None or span.end == span.start:
+            continue
+        out.append(span)
+    return out
+
+
+def op_breakdown(root: Span, tracer: Tracer) -> Dict[str, float]:
+    """Exact partition of one op's latency across categories.
+
+    Boundary sweep over the op's descendant spans clipped to the op's
+    own interval; within each elementary interval the deepest active
+    span wins (ties broken toward the later-opened span).  Time covered
+    by no descendant is attributed to "uncovered / wait".
+    """
+    if root.end is None:
+        raise ValueError(f"op span {root!r} is unfinished")
+    spans = _descendants(root, tracer)
+    # Clip to the op window and precompute depths.
+    clipped: List[Tuple[float, float, int, int, str]] = []
+    for span in spans:
+        lo = max(span.start, root.start)
+        hi = min(span.end, root.end)
+        if hi <= lo:
+            continue
+        depth = 0
+        node = span
+        while node is not None:
+            depth += 1
+            node = node.parent
+        clipped.append((lo, hi, depth, span.sid, categorize(span.name)))
+
+    bounds = {root.start, root.end}
+    for lo, hi, _, _, _ in clipped:
+        bounds.add(lo)
+        bounds.add(hi)
+    edges = sorted(bounds)
+
+    out: Dict[str, float] = {}
+    for left, right in zip(edges, edges[1:]):
+        width = right - left
+        if width <= 0:
+            continue
+        best: Optional[Tuple[int, int, str]] = None
+        for lo, hi, depth, sid, cat in clipped:
+            if lo <= left and hi >= right:
+                key = (depth, sid, cat)
+                if best is None or key > best:
+                    best = key
+        cat = best[2] if best is not None else _UNCOVERED
+        out[cat] = out.get(cat, 0.0) + width
+    return out
+
+
+def aggregate_breakdown(tracer: Tracer, op_name: Optional[str] = None,
+                        ) -> Tuple[Dict[str, float], int]:
+    """Mean per-category breakdown over all (finished) ops.
+
+    Returns ``(category -> mean us, n_ops)``.  ``op_name`` filters to
+    one op type (e.g. ``"op.lt_write"``).
+    """
+    totals: Dict[str, float] = {}
+    n = 0
+    for root in tracer.op_roots():
+        if root.end is None:
+            continue
+        if op_name is not None and root.name != op_name:
+            continue
+        if root.parent is not None:
+            continue  # nested ops are attributed inside their parent
+        for cat, us in op_breakdown(root, tracer).items():
+            totals[cat] = totals.get(cat, 0.0) + us
+        n += 1
+    if n:
+        totals = {k: v / n for k, v in totals.items()}
+    return totals, n
+
+
+def format_breakdown(breakdown: Dict[str, float], n_ops: int,
+                     title: str = "latency breakdown") -> str:
+    """Render a §5.2-style table, largest component first."""
+    total = sum(breakdown.values())
+    width = max([len(k) for k in breakdown] + [len("stage")])
+    lines = [
+        f"{title}  (n={n_ops}, total {total:.3f} us)",
+        f"  {'stage'.ljust(width)}  {'us':>9}  {'share':>6}",
+        f"  {'-' * width}  {'-' * 9}  {'-' * 6}",
+    ]
+    for cat, us in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * us / total if total else 0.0
+        lines.append(f"  {cat.ljust(width)}  {us:9.3f}  {share:5.1f}%")
+    lines.append(f"  {'total'.ljust(width)}  {total:9.3f}  100.0%")
+    return "\n".join(lines)

@@ -167,7 +167,7 @@ class Process(Event):
     the exception is thrown into the generator.
     """
 
-    __slots__ = ("_generator", "name", "_target", "_stale")
+    __slots__ = ("_generator", "name", "_target", "_stale", "_ctx")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
@@ -176,6 +176,10 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        # Tracing context: a spawned process inherits the spawner's
+        # current span, like task-local state in an async runtime.
+        tracer = sim.tracer
+        self._ctx = tracer.current if tracer is not None else None
         # Events this process stopped waiting on (interrupt detach); the
         # subscribed callback stays in their lists and is ignored when it
         # eventually fires, avoiding an O(n) list scan per interrupt.
@@ -227,6 +231,9 @@ class Process(Event):
         generator = self._generator
         sim.active_process = self
         self._target = None
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.current = self._ctx
         while True:
             try:
                 if event._ok:
@@ -236,10 +243,14 @@ class Process(Event):
                     target = generator.throw(event._value)
             except StopIteration as exc:
                 sim.active_process = None
+                if tracer is not None:
+                    tracer.current = None
                 self.succeed(exc.value)
                 return
             except BaseException as exc:
                 sim.active_process = None
+                if tracer is not None:
+                    tracer.current = None
                 self.fail(exc)
                 return
 
@@ -251,10 +262,14 @@ class Process(Event):
                     generator.throw(exc)
                 except StopIteration as stop:
                     sim.active_process = None
+                    if tracer is not None:
+                        tracer.current = None
                     self.succeed(stop.value)
                     return
                 except BaseException as err:
                     sim.active_process = None
+                    if tracer is not None:
+                        tracer.current = None
                     self.fail(err)
                     return
                 continue
@@ -267,6 +282,10 @@ class Process(Event):
             target.callbacks.append(self._resume)
             self._target = target
             sim.active_process = None
+            if tracer is not None:
+                # Park the span context with the process across the wait.
+                self._ctx = tracer.current
+                tracer.current = None
             return
 
 
@@ -372,7 +391,8 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop: owns simulated time and the pending-event heap."""
 
-    __slots__ = ("now", "_heap", "_seq", "active_process", "_timeout_pool")
+    __slots__ = ("now", "_heap", "_seq", "active_process", "_timeout_pool",
+                 "tracer")
 
     def __init__(self):
         self.now: float = 0.0
@@ -381,6 +401,8 @@ class Simulator:
         self.active_process: Optional[Process] = None
         # Recycled Timeout instances (see step()).
         self._timeout_pool: list = []
+        # Observability hook (repro.obs.Tracer); None = tracing off.
+        self.tracer = None
 
     # -- scheduling -----------------------------------------------------
     def _enqueue(self, delay: float, event: Event) -> None:

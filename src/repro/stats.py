@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from .obs.metrics import HistogramSnapshot
+
 __all__ = ["NodeStats", "Snapshot", "snapshot"]
 
 
@@ -94,6 +96,9 @@ class Snapshot:
     nodes: Dict[int, NodeStats]
     fabric_bytes: int
     fabric_transfers: int
+    # Per-op-type latency histograms (e.g. "op.lt_write"), populated when
+    # a tracer is installed on the cluster; None otherwise.
+    op_latency: Optional[Dict[str, HistogramSnapshot]] = None
 
     def delta(self, baseline: "Snapshot") -> "Snapshot":
         """Counters accumulated since ``baseline``."""
@@ -106,6 +111,7 @@ class Snapshot:
             },
             fabric_bytes=self.fabric_bytes - baseline.fabric_bytes,
             fabric_transfers=self.fabric_transfers - baseline.fabric_transfers,
+            op_latency=_hist_delta(self.op_latency, baseline.op_latency),
         )
 
     def total_cpu(self) -> float:
@@ -126,7 +132,32 @@ class Snapshot:
                 f"lite r/w/a {stats.lite_reads}/{stats.lite_writes}/"
                 f"{stats.lite_atomics}"
             )
+        if self.op_latency:
+            for name in sorted(self.op_latency):
+                snap = self.op_latency[name]
+                if snap.count == 0:
+                    continue
+                lines.append(
+                    f"  {name}: n={snap.count} "
+                    f"p50={snap.percentile(50):.2f} us "
+                    f"p99={snap.percentile(99):.2f} us"
+                )
         return "\n".join(lines)
+
+
+def _hist_delta(
+    current: Optional[Dict[str, HistogramSnapshot]],
+    baseline: Optional[Dict[str, HistogramSnapshot]],
+) -> Optional[Dict[str, HistogramSnapshot]]:
+    """Delta of two op-latency maps (missing baseline entries = zero)."""
+    if current is None:
+        return None
+    if baseline is None:
+        return dict(current)
+    return {
+        name: (snap.delta(baseline[name]) if name in baseline else snap)
+        for name, snap in current.items()
+    }
 
 
 def _node_stats(node) -> NodeStats:
@@ -157,9 +188,17 @@ def _node_stats(node) -> NodeStats:
 
 def snapshot(cluster) -> Snapshot:
     """Capture every node's counters plus fabric totals."""
+    tracer = cluster.sim.tracer
+    op_latency = None
+    if tracer is not None:
+        op_latency = {
+            name: tracer.metrics.hists[name].snapshot()
+            for name in sorted(tracer.metrics.hists)
+        }
     return Snapshot(
         at=cluster.sim.now,
         nodes={node.node_id: _node_stats(node) for node in cluster.nodes},
         fabric_bytes=cluster.fabric.total_bytes,
         fabric_transfers=cluster.fabric.transfer_count,
+        op_latency=op_latency,
     )

@@ -39,6 +39,10 @@ class CompletionQueue:
             # drop, so benches can assert it never happens.
             self.overflows += 1
             return
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("cq.cqe", cq=self.name, opcode=wc.opcode.value,
+                           nbytes=wc.byte_len)
         wc.completed_at = self.sim.now
         self.pushed += 1
         self._store.put(wc)

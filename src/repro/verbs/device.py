@@ -342,8 +342,13 @@ class Device:
                 cost += self.rnic.pte_lookup_cost(pages)
                 yield from self.rnic.process(cost, dma_bytes=len(payload))
                 recv_wr.mr.write(recv_wr.offset, payload)
+        tracer = self.sim.tracer
+        cspan = (tracer.begin("cq.completion", node=self.node.node_id)
+                 if tracer is not None else None)
         yield self.sim.timeout(self.params.rnic_completion_us)
         if qp.recv_cq is None:
+            if cspan is not None:
+                tracer.end(cspan)
             return status
         qp.recv_cq.push(
             WorkCompletion(
@@ -357,4 +362,6 @@ class Device:
                 src_qpn=src_qpn,
             )
         )
+        if cspan is not None:
+            tracer.end(cspan)
         return status

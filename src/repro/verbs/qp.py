@@ -293,6 +293,13 @@ class QueuePair:
         src_node = self.device.node.node_id
         dst_node, dst_qpn = dst
 
+        tracer = sim.tracer
+        span = None
+        if tracer is not None:
+            # Whole WR lifetime, including the SQ-slot wait.
+            span = tracer.begin("qp.wqe", node=src_node, nbytes=wr.length,
+                                qpn=self.qpn, opcode=wr.opcode.value,
+                                dst=dst_node)
         yield self._sq_slots.request()
         status = WcStatus.WR_FLUSH_ERR
         byte_len = 0
@@ -309,6 +316,8 @@ class QueuePair:
 
             # Requester CQE.
             if wr.signaled or status is not WcStatus.SUCCESS:
+                cspan = (tracer.begin("cq.completion", node=src_node)
+                         if tracer is not None else None)
                 yield sim.timeout(params.rnic_completion_us)
                 wc = WorkCompletion(
                     wr_id=wr.wr_id,
@@ -320,6 +329,8 @@ class QueuePair:
                 )
                 if self.send_cq is not None:
                     self.send_cq.push(wc)
+                if cspan is not None:
+                    tracer.end(cspan)
             return status
         finally:
             # Failure paths must still unblock the responder-ordering
@@ -334,21 +345,36 @@ class QueuePair:
             if doorbell_fire is not None and not doorbell_fire.triggered:
                 doorbell_fire.succeed()
             self._sq_slots.release()
+            if span is not None:
+                tracer.end(span, outcome=status.value)
 
     def _execute_rts(self, wr: SendWR, fabric, src_node: int, dst_node: int,
                      dst_qpn: int, predecessor, doorbell_wait=None,
                      doorbell_fire=None):
         sim, params = self.sim, self.device.params
+        tracer = sim.tracer
 
         # 1. Doorbell: MMIO post over PCIe.  In a batched post the chunk
         # leader pays the one MMIO and rings the shared event; followers
         # ride it for free.
         if doorbell_wait is None:
+            dspan = (tracer.begin("qp.doorbell", node=src_node, qpn=self.qpn)
+                     if tracer is not None else None)
             yield sim.timeout(params.rnic_doorbell_us)
             if doorbell_fire is not None:
                 doorbell_fire.succeed()
+            if dspan is not None:
+                tracer.end(dspan)
         elif not doorbell_wait.processed:
+            dspan = (tracer.begin("qp.doorbell", node=src_node, qpn=self.qpn,
+                                  chained=True)
+                     if tracer is not None else None)
             yield doorbell_wait
+            if dspan is not None:
+                tracer.end(dspan)
+        elif tracer is not None:
+            tracer.instant("qp.doorbell", node=src_node, qpn=self.qpn,
+                           chained=True)
 
         # 2. Local RNIC: lookups + payload DMA from host memory.
         payload = b""

@@ -82,6 +82,7 @@ def test_rpc_ring_sustains_sustained_overload():
 # ----------------------------------------------- sparse-block storage --
 
 
+@pytest.mark.slow
 @given(data=st.data())
 @settings(max_examples=60, deadline=None,
           suppress_health_check=[HealthCheck.data_too_large])

@@ -75,9 +75,13 @@ def test_empty_fault_plan_is_zero_cost():
     §7 note in docs/INTERNALS.md for why the RPC trace above is not).
     """
     from repro.apps.kvstore import LiteKVClient, LiteKVServer
+    from repro.determinism import reset_global_counters
     from repro.fault import FaultInjector, FaultPlan
 
     def run_once(inject: bool):
+        # Pin the global object-id counters so both runs see identical
+        # wire-message digit counts regardless of what ran before.
+        reset_global_counters()
         cluster = Cluster(3)
         kernels = lite_boot(cluster)
         if inject:
@@ -126,6 +130,75 @@ def test_full_app_run_is_deterministic():
     t2, r2 = run_once()
     assert r1 == r2                       # identical answers, always
     assert t2 == pytest.approx(t1, rel=5e-3)  # timing drift < 0.5%
+
+
+# ------------------------------------------------ trace determinism --
+
+
+def _chaos_plan():
+    from repro.fault import FaultPlan
+
+    return (FaultPlan()
+            .link_flap(2, start_us=200.0, end_us=1500.0,
+                       down_us=30.0, up_us=120.0)
+            .packet_loss(0.08, start_us=100.0, end_us=2500.0))
+
+
+def test_trace_jsonl_byte_identical_across_runs():
+    """Two same-seed traced runs export byte-identical JSONL (the
+    global object-id counters are reset per run, so even wire-message
+    digit counts match exactly)."""
+    from repro.obs import to_jsonl
+    from tests.obs_helpers import run_mixed
+
+    _c1, tracer_a, records_a, _s1 = run_mixed(seed=7)
+    _c2, tracer_b, records_b, _s2 = run_mixed(seed=7)
+    assert records_a == records_b
+    assert to_jsonl(tracer_a) == to_jsonl(tracer_b)
+
+
+def test_trace_jsonl_byte_identical_under_faults():
+    """Trace determinism survives an active seeded FaultPlan: drops,
+    retries, and late spans land identically in both runs."""
+    from repro.obs import to_jsonl
+    from tests.obs_helpers import run_mixed
+
+    _c1, tracer_a, _r1, _s1 = run_mixed(seed=11, plan=_chaos_plan())
+    _c2, tracer_b, _r2, _s2 = run_mixed(seed=11, plan=_chaos_plan())
+    jsonl_a, jsonl_b = to_jsonl(tracer_a), to_jsonl(tracer_b)
+    assert "dropped" in jsonl_a or "err:" in jsonl_a  # faults visible
+    assert jsonl_a == jsonl_b
+
+
+def test_trace_chrome_export_deterministic():
+    import json
+
+    from repro.obs import to_chrome_trace
+    from tests.obs_helpers import run_mixed
+
+    _c1, tracer_a, _r1, _s1 = run_mixed(seed=7)
+    _c2, tracer_b, _r2, _s2 = run_mixed(seed=7)
+    dump = lambda t: json.dumps(to_chrome_trace(t), separators=(",", ":"))
+    assert dump(tracer_a) == dump(tracer_b)
+
+
+def test_trace_metrics_summary_deterministic():
+    from tests.obs_helpers import run_mixed
+
+    _c1, tracer_a, _r1, _s1 = run_mixed(seed=7)
+    _c2, tracer_b, _r2, _s2 = run_mixed(seed=7)
+    summary_a = tracer_a.metrics.summary()
+    assert "span.op.lt_write" in summary_a["counters"]
+    assert summary_a == tracer_b.metrics.summary()
+
+
+def test_trace_different_seeds_differ():
+    from repro.obs import to_jsonl
+    from tests.obs_helpers import run_mixed
+
+    _c1, tracer_a, _r1, _s1 = run_mixed(seed=7)
+    _c2, tracer_b, _r2, _s2 = run_mixed(seed=8)
+    assert to_jsonl(tracer_a) != to_jsonl(tracer_b)
 
 
 # --------------------------------------------- engine stress property --

@@ -1,9 +1,15 @@
-"""Randomized stress tests with strong end-state invariants."""
+"""Randomized stress tests with strong end-state invariants.
+
+The whole module is tier-2: marked slow, deselected from the default
+pytest run (see pyproject.toml); run with ``-m slow``.
+"""
 
 import random
 import struct
 
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.apps.dsm import LiteDsm, PAGE_SIZE
 from repro.cluster import Cluster

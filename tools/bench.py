@@ -138,6 +138,85 @@ MIXES = {
 }
 
 
+def trace_overhead(quick: bool, repeats: int = 5) -> dict:
+    """Cost of the observability layer on the small-ops mix.
+
+    Three variants of the same run: ``baseline`` (no tracer, the normal
+    fast path), ``disabled`` (install_tracer under a flipped kill
+    switch — must be a no-op), and ``traced`` (full span recording).
+    Wall times are min-of-N with the variants interleaved; simulated
+    time must be bit-identical across all three (tracing never
+    schedules events), and the disabled variant must stay within 5% of
+    baseline wall clock.  Traced overhead is reported, not asserted.
+    """
+    from repro.obs import install_tracer, set_enabled
+
+    ops = 2_000 if quick else 12_000
+
+    def one_run(mode: str):
+        cluster, kernels = _lite_pair()
+        ctx = LiteContext(kernels[0], "bench", kernel_level=True)
+        holder = {}
+
+        def setup():
+            holder["lh"] = yield from ctx.lt_malloc(1 * MB, nodes=2)
+
+        cluster.run_process(setup())
+        lh = holder["lh"]
+        payload = b"x" * 64
+        if mode == "disabled":
+            set_enabled(False)
+            try:
+                assert install_tracer(cluster) is None
+            finally:
+                set_enabled(True)
+        elif mode == "traced":
+            install_tracer(cluster)
+
+        def driver():
+            for index in range(ops):
+                if index & 1:
+                    yield from ctx.lt_read(lh, 0, 64)
+                else:
+                    yield from ctx.lt_write(lh, 0, payload)
+
+        wall, sim_us, _events = _timed_run(cluster, driver())
+        return wall, sim_us
+
+    modes = ("baseline", "disabled", "traced")
+    walls = {mode: [] for mode in modes}
+    sims = {}
+    for _ in range(repeats):
+        for mode in modes:
+            wall, sim_us = one_run(mode)
+            walls[mode].append(wall)
+            sims.setdefault(mode, sim_us)
+            assert sim_us == sims[mode], f"{mode} run not deterministic"
+
+    assert sims["disabled"] == sims["baseline"], \
+        "disabled tracer perturbed simulated time"
+    assert sims["traced"] == sims["baseline"], \
+        "tracing perturbed simulated time"
+
+    best = {mode: min(walls[mode]) for mode in modes}
+    off_ratio = best["disabled"] / best["baseline"]
+    on_ratio = best["traced"] / best["baseline"]
+    print(f"  trace-overhead ({ops} ops, min of {repeats}):")
+    print(f"    baseline  {best['baseline']:.3f} s")
+    print(f"    disabled  {best['disabled']:.3f} s  ({off_ratio:.3f}x)")
+    print(f"    traced    {best['traced']:.3f} s  ({on_ratio:.3f}x)")
+    print(f"    sim time identical across variants: {sims['baseline']:.3f} us")
+    assert off_ratio < 1.05, \
+        f"tracing-off overhead {off_ratio:.3f}x exceeds the 5% budget"
+    return {
+        "ops": ops,
+        "wall_s": best,
+        "off_ratio": off_ratio,
+        "on_ratio": on_ratio,
+        "sim_us": sims["baseline"],
+    }
+
+
 def run_all(quick: bool) -> dict:
     results = {}
     for name, fn in MIXES.items():
@@ -163,7 +242,15 @@ def main(argv=None) -> int:
                         help="key to record results under (default: current)")
     parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_pr3.json"),
                         help="JSON results file (merged, not overwritten)")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="measure observability-layer overhead only "
+                             "(asserts tracing-off stays within 5%%)")
     args = parser.parse_args(argv)
+
+    if args.trace_overhead:
+        print(f"bench: trace-overhead quick={args.quick}")
+        trace_overhead(args.quick)
+        return 0
 
     print(f"bench: label={args.label} quick={args.quick}")
     results = run_all(args.quick)

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.cluster import Cluster
 from repro.core import LiteContext, lite_boot
 from repro.hw import DEFAULT_PARAMS, SimParams
+from repro.sweep import run_sweep
 from repro.verbs import Access, Opcode, SendWR, Sge
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "verbs_pair",
     "latency_of",
     "throughput_run",
+    "sweep",
     "RESULTS",
 ]
 
@@ -90,6 +92,20 @@ def verbs_pair(params: Optional[SimParams] = None, mr_bytes: int = 1 << 20,
     cluster.run_process(setup())
     state["cluster"] = cluster
     return state
+
+
+def sweep(point_fn, points, parallel: Optional[int] = None) -> list:
+    """Evaluate one figure's sweep points, optionally in parallel.
+
+    Thin figure-facing wrapper over :func:`repro.sweep.run_sweep`:
+    ``point_fn(point)`` builds and runs one self-contained simulation,
+    ``parallel=None`` defers to the ``REPRO_BENCH_JOBS`` environment
+    variable (so CI can fan figure benchmarks out without touching the
+    drivers).  Results come back in point order and are byte-identical
+    to a serial run; ``point_fn`` must live at module level so workers
+    can pickle it.
+    """
+    return run_sweep(point_fn, points, jobs=parallel)
 
 
 # -------------------------------------------------------------- drivers --

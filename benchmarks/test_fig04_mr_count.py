@@ -14,7 +14,7 @@ import pytest
 from repro.core import Permission
 from repro.verbs import Access, Opcode, SendWR, Sge
 
-from .common import latency_of, lite_pair, print_table, verbs_pair
+from .common import latency_of, lite_pair, print_table, sweep, verbs_pair
 
 MR_COUNTS = [10, 100, 1_000, 10_000, 100_000]
 WRITE_SIZE = 64
@@ -73,11 +73,19 @@ def lite_latency(n_lmrs: int) -> float:
     return latency_of(cluster, op, count=400, warmup=20)
 
 
-def run_fig04():
-    rows = []
-    for count in MR_COUNTS:
-        rows.append((count, lite_latency(count), verbs_latency(count)))
-    return rows
+def fig04_point(point):
+    count, system = point
+    return lite_latency(count) if system == "lite" else verbs_latency(count)
+
+
+def run_fig04(parallel=None):
+    points = [(count, system)
+              for count in MR_COUNTS for system in ("lite", "verbs")]
+    values = dict(zip(points, sweep(fig04_point, points, parallel=parallel)))
+    return [
+        (count, values[(count, "lite")], values[(count, "verbs")])
+        for count in MR_COUNTS
+    ]
 
 
 @pytest.mark.benchmark(group="fig04")

@@ -12,7 +12,7 @@ import pytest
 
 from repro.verbs import Access, Opcode, SendWR, Sge
 
-from .common import lite_pair, print_table, throughput_run, verbs_pair
+from .common import lite_pair, print_table, sweep, throughput_run, verbs_pair
 
 MB = 1 << 20
 SIZES = [1 * MB, 4 * MB, 16 * MB, 64 * MB, 256 * MB, 1024 * MB]
@@ -76,19 +76,28 @@ def lite_throughput(total_size: int, write_size: int) -> float:
     return rate
 
 
-def run_fig05():
-    rows = []
-    for size in SIZES:
-        rows.append(
-            (
-                size // MB,
-                lite_throughput(size, 1024),
-                verbs_throughput(size, 1024),
-                lite_throughput(size, 64),
-                verbs_throughput(size, 64),
-            )
+def fig05_point(point):
+    size, write_size, system = point
+    fn = lite_throughput if system == "lite" else verbs_throughput
+    return fn(size, write_size)
+
+
+def run_fig05(parallel=None):
+    points = [(size, write_size, system)
+              for size in SIZES
+              for write_size in (1024, 64)
+              for system in ("lite", "verbs")]
+    values = dict(zip(points, sweep(fig05_point, points, parallel=parallel)))
+    return [
+        (
+            size // MB,
+            values[(size, 1024, "lite")],
+            values[(size, 1024, "verbs")],
+            values[(size, 64, "lite")],
+            values[(size, 64, "verbs")],
         )
-    return rows
+        for size in SIZES
+    ]
 
 
 @pytest.mark.benchmark(group="fig05")

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core import LiteContext, rpc_server_loop
 
-from .common import lite_pair, print_table
+from .common import lite_pair, print_table, sweep
 
 THREADS_PER_NODE = 8
 DURATION_US = 1000.0
@@ -100,12 +100,20 @@ def _settle(cluster):
     yield cluster.sim.timeout(5)
 
 
-def run_fig14():
-    rows = []
-    for n_nodes in (2, 4, 6, 8):
-        rows.append((n_nodes, write_scalability(n_nodes),
-                     rpc_scalability(n_nodes)))
-    return rows
+def fig14_point(point):
+    n_nodes, mode = point
+    fn = write_scalability if mode == "write" else rpc_scalability
+    return fn(n_nodes)
+
+
+def run_fig14(parallel=None):
+    points = [(n_nodes, mode)
+              for n_nodes in (2, 4, 6, 8) for mode in ("write", "rpc")]
+    values = dict(zip(points, sweep(fig14_point, points, parallel=parallel)))
+    return [
+        (n_nodes, values[(n_nodes, "write")], values[(n_nodes, "rpc")])
+        for n_nodes in (2, 4, 6, 8)
+    ]
 
 
 @pytest.mark.benchmark(group="fig14")

@@ -105,15 +105,24 @@ class QosManager:
         return _MID_LOW_RATE
 
     def gate(self, priority: int):
-        """Admission for one op (generator; may delay low-priority)."""
+        """Admission for one op; ``yield from`` the result.
+
+        Plain function: the common no-delay case returns an empty tuple
+        (nothing to iterate) instead of spinning up a generator frame
+        per op.
+        """
         if self.mode != "sw-pri" or priority == PRIORITY_HIGH:
-            return
+            return ()
         rate = self._low_rate_limit()
         if rate is None:
-            return
+            return ()
         now = self.sim.now
         start = max(now, self._next_low_slot)
         self._next_low_slot = start + 1.0 / rate
         if start > now:
             self.low_delayed_ops += 1
-            yield self.sim.timeout(start - now)
+            return self._gate_delay(start - now)
+        return ()
+
+    def _gate_delay(self, delay: float):
+        yield self.sim.timeout(delay)

@@ -24,9 +24,13 @@ def reset_global_counters() -> None:
     from .verbs.wr import RecvWR, SendWR
     from .verbs.cq import CompletionQueue
     from .core import api as _api
+    from .core import lmr as _lmr
     from .core.kernel import LiteKernel
     from .core.rpc import RpcEngine
     from .net import tcpip as _tcpip
+    from .baselines import farm as _farm
+    from .apps.graph import powergraph as _powergraph
+    from .apps.mapreduce import hadoopsim as _hadoopsim
 
     _device._key_counter = itertools.count(start=1000)
     _device._qpn_counter = itertools.count(start=1)
@@ -37,4 +41,9 @@ def reset_global_counters() -> None:
     LiteKernel._token_counter = itertools.count(start=1)
     RpcEngine._token_counter = itertools.count(start=1)
     _api._anon_counter = itertools.count(start=1)
+    _lmr._lmr_counter = itertools.count(start=1)
+    _lmr._lh_counter = itertools.count(start=1)
     _tcpip._conn_counter = itertools.count(start=1)
+    _farm._ring_counter = itertools.count(start=1)
+    _powergraph._port_counter = itertools.count(start=30000)
+    _hadoopsim._port_counter = itertools.count(start=20000)

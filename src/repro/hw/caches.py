@@ -12,8 +12,7 @@ registering a single physical-address MR and sharing K×N QPs.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Hashable
+from typing import Hashable, Iterable
 
 __all__ = ["LruCache", "CacheStats"]
 
@@ -60,24 +59,41 @@ class LruCache:
     ``access`` returns True on a hit.  On a miss the entry is installed
     (the RNIC always fills after fetching from host memory), evicting the
     least-recently-used entry if full.
+
+    Recency order rides the intrinsic insertion order of a plain dict:
+    a hit is an O(1) delete + reinsert (move-to-end), the LRU victim is
+    ``next(iter(dict))``.  Figure 4/5/14 sweeps call :meth:`access`
+    millions of times, and plain-dict operations beat ``OrderedDict``'s
+    linked-list bookkeeping on every one of them.
     """
+
+    __slots__ = ("capacity", "name", "_entries", "stats")
 
     def __init__(self, capacity: int, name: str = "cache"):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.name = name
-        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._entries: "dict[Hashable, None]" = {}
         self.stats = CacheStats()
 
     def access(self, key: Hashable) -> bool:
         """Look up ``key``; True on hit (misses auto-install)."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
+        entries = self._entries
+        stats = self.stats
+        if key in entries:
+            # Move-to-end: delete + reinsert lands the key at the back
+            # of the dict's insertion order (most recently used).
+            del entries[key]
+            entries[key] = None
+            stats.hits += 1
             return True
-        self.stats.misses += 1
-        self._install(key)
+        stats.misses += 1
+        if len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+            stats.evictions += 1
+        entries[key] = None
+        stats.installs += 1
         return False
 
     def contains(self, key: Hashable) -> bool:
@@ -85,10 +101,11 @@ class LruCache:
         return key in self._entries
 
     def _install(self, key: Hashable) -> None:
-        if len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+        entries = self._entries
+        if len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
             self.stats.evictions += 1
-        self._entries[key] = None
+        entries[key] = None
         self.stats.installs += 1
 
     def invalidate(self, key: Hashable) -> bool:
@@ -97,6 +114,21 @@ class LruCache:
             del self._entries[key]
             return True
         return False
+
+    def invalidate_many(self, keys: Iterable[Hashable]) -> int:
+        """Drop every listed entry; returns how many were present.
+
+        O(len(keys)) — callers that know the doomed keys (MR
+        deregistration knows its page ids) should prefer this over
+        :meth:`invalidate_where`, which scans the whole cache.
+        """
+        entries = self._entries
+        count = 0
+        for key in keys:
+            if key in entries:
+                del entries[key]
+                count += 1
+        return count
 
     def invalidate_where(self, predicate) -> int:
         """Drop all entries matching ``predicate(key)``; returns count."""

@@ -110,19 +110,25 @@ class Fabric:
     def transfer(self, src: int, dst: int, nbytes: int, flow: object = None):
         """Move ``nbytes`` from ``src`` to ``dst``; completes on arrival.
 
-        Generator; the caller resumes when the last byte has landed.
-        ``flow`` selects the arbitration bucket (QPs pass their QPN so
-        backlogged flows share links fairly).  Loopback (src == dst)
-        short-circuits the wire but still pays a minimal PCIe round
-        through the NIC, matching how Verbs loopback behaves.
+        Returns a generator; the caller resumes when the last byte has
+        landed.  ``flow`` selects the arbitration bucket (QPs pass their
+        QPN so backlogged flows share links fairly).  Loopback
+        (src == dst) short-circuits the wire but still pays a minimal
+        PCIe round through the NIC, matching how Verbs loopback behaves.
 
         Raises :class:`LinkDownError` / :class:`TransferDropped` after
         paying the wire time when the transfer cannot be delivered.
+
+        Plain function (not a generator function): the tracer branch is
+        taken once at call time, so the untraced hot path delegates to a
+        single generator instead of nesting one inside a wrapper.
         """
+        if self.sim.tracer is None:
+            return self._transfer_impl(src, dst, nbytes, flow)
+        return self._transfer_traced(src, dst, nbytes, flow)
+
+    def _transfer_traced(self, src: int, dst: int, nbytes: int, flow: object):
         tracer = self.sim.tracer
-        if tracer is None:
-            yield from self._transfer_impl(src, dst, nbytes, flow)
-            return
         span = tracer.begin("fabric.hop", node=src, nbytes=nbytes, dst=dst)
         try:
             yield from self._transfer_impl(src, dst, nbytes, flow)
@@ -135,19 +141,25 @@ class Fabric:
         tracer.end(span)
 
     def _transfer_impl(self, src: int, dst: int, nbytes: int, flow: object):
-        src_port = self._require_port(src)
-        dst_port = self._require_port(dst)
+        ports = self.ports
+        src_port = ports.get(src)
+        dst_port = ports.get(dst)
+        if src_port is None or dst_port is None:
+            self._require_port(src)
+            self._require_port(dst)
         if nbytes < 0:
             raise FabricError(f"negative transfer size: {nbytes}")
         params = self.params
-        serialization = params.wire_time(nbytes)
+        # params.wire_time(nbytes), inlined (hot path).
+        serialization = nbytes / params.link_bandwidth_bytes_per_us
         self.total_bytes += nbytes
         self.transfer_count += 1
+        sim = self.sim
         if src == dst:
             if not src_port.up:
                 self.dropped_transfers += 1
                 raise LinkDownError(f"node {src} link is down")
-            yield self.sim.timeout(serialization + params.link_propagation_us)
+            yield sim.timeout(serialization + params.link_propagation_us)
             src_port.tx_bytes += nbytes
             src_port.rx_bytes += nbytes
             return
@@ -166,25 +178,27 @@ class Fabric:
         # fabric.serialize = TX-channel occupancy: from winning the egress
         # link until releasing it (includes any ingress-side stall, since
         # the egress link is held across it).
-        tracer = self.sim.tracer
+        tracer = sim.tracer
         ser = (tracer.begin("fabric.serialize", node=src, nbytes=nbytes)
                if tracer is not None else None)
         try:
             if dropped:
                 # The frame still serializes out of the sender, then dies
                 # in the fabric; it never contends for the receiver.
-                yield self.sim.timeout(serialization)
+                yield sim.timeout(serialization)
             else:
                 yield dst_port.rx.request(flow)
                 try:
-                    yield self.sim.timeout(serialization)
+                    yield sim.timeout(serialization)
                 finally:
                     dst_port.rx.release()
         finally:
             if ser is not None:
                 tracer.end(ser)
             src_port.tx.release()
-        yield self.sim.timeout(params.one_way_fabric_us())
+        # params.one_way_fabric_us(), inlined (hot path).
+        yield sim.timeout(2 * params.link_propagation_us
+                          + params.switch_latency_us)
         if dropped:
             self.dropped_transfers += 1
             if not dst_port.up:

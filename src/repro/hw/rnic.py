@@ -79,11 +79,15 @@ class Rnic:
         return 0.0 if hit else self.params.qp_miss_penalty_us
 
     def invalidate_mr(self, key: int, page_ids: Iterable = ()) -> None:
-        """Deregistration drops the MR record and its cached PTEs."""
+        """Deregistration drops the MR record and its cached PTEs.
+
+        Batch invalidation: the MR knows exactly which page ids it
+        covered, so this is O(pages) instead of a full PTE-cache scan
+        per deregistration (MR-churn sweeps call this per unregister).
+        """
         self.key_cache.invalidate(key)
-        pages = set(page_ids)
-        if pages:
-            self.pte_cache.invalidate_where(lambda page: page in pages)
+        if page_ids:
+            self.pte_cache.invalidate_many(page_ids)
 
     # -- pipeline --------------------------------------------------------
     def process(self, extra_cost: float = 0.0, dma_bytes: int = 0):

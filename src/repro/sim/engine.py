@@ -1,7 +1,7 @@
 """Discrete-event simulation engine.
 
 A compact, from-scratch engine in the style of SimPy: a :class:`Simulator`
-owns a time-ordered event heap, and :class:`Process` objects are Python
+owns a time-ordered event queue, and :class:`Process` objects are Python
 generators that ``yield`` :class:`Event` instances to wait on them.
 
 All simulated time is in **microseconds** (float), matching the latency
@@ -13,12 +13,31 @@ carry ``__slots__``, and :class:`Timeout` instances — by far the most
 frequently allocated event kind — are recycled through a free-list pool
 once the engine can prove (via the reference count) that no simulation
 code still holds them.
+
+The scheduler itself is a three-tier hybrid (see docs/INTERNALS.md §12):
+
+- a FIFO *now-queue* for events due at the current instant (process
+  resumptions, ``succeed()``/``fail()``, zero timeouts) — the majority
+  of all enqueues, served with no comparisons and no tuple allocation;
+- a 256-slot, 1 µs-granularity *timer wheel* for near-future timeouts
+  (wire/processing delays), each slot a tiny heap;
+- the original binary *heap* for far-future or irregular deadlines
+  (RPC timeouts, keep-alive timers).
+
+The total order is identical to a single heap keyed ``(time, seq)``:
+``seq`` increments on every enqueue, heap and wheel entries carry it
+explicitly, and now-queue entries are provably newer (larger ``seq``)
+than any same-timestamp entry elsewhere, so FIFO order *is* seq order.
+Cancelled events are discarded lazily at the queue front and compacted
+wholesale when they exceed half of all pending entries.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from sys import getrefcount
+from types import GeneratorType
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -49,6 +68,18 @@ PENDING = object()
 
 # Cap on the recycled-Timeout free list (objects, not bytes).
 _TIMEOUT_POOL_MAX = 4096
+# Cap on the recycled plain-Event free list.
+_EVENT_POOL_MAX = 4096
+
+# Timer wheel geometry: 256 slots of 1 us each.  Delays that land within
+# the 256 us horizon go to a per-slot mini-heap; everything farther (or
+# irregular) stays in the overflow heap.
+_WHEEL_SLOTS = 256
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+
+# Lazy-cancellation compaction: rebuild the queues once cancelled
+# entries outnumber live ones, but never bother below this many.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Event:
@@ -98,7 +129,14 @@ class Event:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.sim._enqueue(delay, self)
+        sim = self.sim
+        if delay == 0.0:
+            # Inlined delay-0 _enqueue: the dominant case (resource
+            # grants, completions) goes straight to the now-queue.
+            sim._seq += 1
+            sim._nowq.append(self)
+        else:
+            sim._enqueue(delay, self)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -109,7 +147,12 @@ class Event:
             raise SimulationError("fail() needs an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._enqueue(delay, self)
+        sim = self.sim
+        if delay == 0.0:
+            sim._seq += 1
+            sim._nowq.append(self)
+        else:
+            sim._enqueue(delay, self)
         return self
 
     def defuse(self) -> None:
@@ -132,9 +175,16 @@ class Event:
         Cancelling an event that a process is directly waiting on leaves
         that process parked forever — only cancel events nobody waits on.
         """
-        if self.callbacks is None:
+        if self.callbacks is None or self._cancelled:
             return
         self._cancelled = True
+        sim = self.sim
+        cancelled = sim._ncancelled + 1
+        sim._ncancelled = cancelled
+        if (cancelled >= _COMPACT_MIN_CANCELLED
+                and cancelled * 2 > (len(sim._heap) + sim._wheel_count
+                                     + len(sim._nowq))):
+            sim._compact()
 
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -167,11 +217,13 @@ class Process(Event):
     the exception is thrown into the generator.
     """
 
-    __slots__ = ("_generator", "name", "_target", "_stale", "_ctx")
+    __slots__ = ("_generator", "name", "_target", "_stale", "_ctx", "_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        if type(generator) is not GeneratorType and (
+                not hasattr(generator, "send")
+                or not hasattr(generator, "throw")):
             raise SimulationError(f"process target is not a generator: {generator!r}")
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
@@ -184,12 +236,17 @@ class Process(Event):
         # subscribed callback stays in their lists and is ignored when it
         # eventually fires, avoiding an O(n) list scan per interrupt.
         self._stale: Optional[set] = None
-        # Bootstrap: resume once at the current time.
-        start = Event(sim)
+        # The one bound-method object this process ever subscribes with
+        # (a fresh `self._resume` per park would allocate every time).
+        self._cb = self._resume
+        # Bootstrap: resume once at the current time (inlined delay-0
+        # enqueue — straight to the now-queue).
+        start = sim.event()
         start._ok = True
         start._value = None
-        start.callbacks.append(self._resume)
-        sim._enqueue(0.0, start)
+        start.callbacks.append(self._cb)
+        sim._seq += 1
+        sim._nowq.append(start)
 
     @property
     def is_alive(self) -> bool:
@@ -206,7 +263,7 @@ class Process(Event):
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
-        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.callbacks.append(self._cb)
         # Detach from whatever the process currently waits on: the old
         # target keeps its callback, but _resume will drop its firing on
         # the floor (it is marked stale).  This keeps interrupt O(1)
@@ -229,6 +286,7 @@ class Process(Event):
             return
         sim = self.sim
         generator = self._generator
+        send = generator.send
         sim.active_process = self
         self._target = None
         tracer = sim.tracer
@@ -237,7 +295,7 @@ class Process(Event):
         while True:
             try:
                 if event._ok:
-                    target = generator.send(event._value)
+                    target = send(event._value)
                 else:
                     event._defused = True
                     target = generator.throw(event._value)
@@ -254,7 +312,9 @@ class Process(Event):
                 self.fail(exc)
                 return
 
-            if type(target) is not Timeout and not isinstance(target, Event):
+            cls = type(target)
+            if (cls is not Timeout and cls is not Event
+                    and not isinstance(target, Event)):
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {target!r}"
                 )
@@ -279,7 +339,7 @@ class Process(Event):
                 event = target
                 continue
 
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._cb)
             self._target = target
             sim.active_process = None
             if tracer is not None:
@@ -389,28 +449,151 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop: owns simulated time and the pending-event heap."""
+    """The event loop: owns simulated time and the pending-event queues.
+
+    Pending events live in one of three structures sharing a single
+    total order keyed ``(time, seq)``:
+
+    - ``_nowq``: deque of events due exactly at ``now`` (FIFO = seq
+      order; see module docstring for why that holds);
+    - ``_wheel``: 256 × 1 µs timer-wheel slots, each a small heap of
+      ``(time, seq, event)`` tuples, for deadlines within the horizon;
+    - ``_heap``: overflow heap for everything beyond the wheel horizon.
+
+    ``_seq`` still increments on *every* enqueue (it doubles as the
+    engine's total-event counter for benchmarks), even though now-queue
+    entries never materialize their tuple.
+    """
 
     __slots__ = ("now", "_heap", "_seq", "active_process", "_timeout_pool",
-                 "tracer")
+                 "_event_pool", "tracer", "_nowq", "_wheel", "_wheel_count",
+                 "_wheel_min", "_ncancelled")
 
     def __init__(self):
         self.now: float = 0.0
         self._heap: list = []
         self._seq = 0
         self.active_process: Optional[Process] = None
-        # Recycled Timeout instances (see step()).
-        self._timeout_pool: list = []
+        # Recycled Timeout / plain-Event instances (see step()).  Bounded
+        # deques: append on a full pool silently evicts the oldest, so
+        # the hot recycle path needs no length check.
+        self._timeout_pool: deque = deque(maxlen=_TIMEOUT_POOL_MAX)
+        self._event_pool: deque = deque(maxlen=_EVENT_POOL_MAX)
         # Observability hook (repro.obs.Tracer); None = tracing off.
         self.tracer = None
+        self._nowq: deque = deque()
+        self._wheel: list = [[] for _ in range(_WHEEL_SLOTS)]
+        self._wheel_count = 0
+        # Lower bound on the absolute slot index of the earliest wheel
+        # entry; advanced lazily by the slot scan in _earliest().
+        self._wheel_min = 0
+        # Cancelled events still sitting in a queue (compaction trigger).
+        self._ncancelled = 0
 
     # -- scheduling -----------------------------------------------------
     def _enqueue(self, delay: float, event: Event) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        seq = self._seq + 1
+        self._seq = seq
+        now = self.now
+        when = now + delay
+        if when == now:
+            # Due this instant: plain FIFO, no tuple, no comparisons.
+            self._nowq.append(event)
+        elif when - now < 255.0:
+            # Within the wheel horizon.  255 (not 256) keeps the slot
+            # offset strictly below _WHEEL_SLOTS without a second int().
+            slot = int(when)
+            count = self._wheel_count
+            if count == 0 or slot < self._wheel_min:
+                self._wheel_min = slot
+            self._wheel_count = count + 1
+            heapq.heappush(self._wheel[slot & _WHEEL_MASK],
+                           (when, seq, event))
+        else:
+            heapq.heappush(self._heap, (when, seq, event))
+
+    def _earliest(self):
+        """The earliest pending wheel/heap entry and its container.
+
+        Returns ``(entry, container)`` or ``(None, None)``; cancelled
+        entries at either front are discarded on the way.  The now-queue
+        is *not* considered: its entries sort after any same-timestamp
+        wheel/heap entry (larger seq), so callers handle it separately.
+        """
+        best = None
+        container = None
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2]._cancelled:
+                heapq.heappop(heap)
+                self._ncancelled -= 1
+                continue
+            best = entry
+            container = heap
+            break
+        if self._wheel_count:
+            wheel = self._wheel
+            slot_index = self._wheel_min
+            while True:
+                slot = wheel[slot_index & _WHEEL_MASK]
+                while slot:
+                    entry = slot[0]
+                    if entry[2]._cancelled:
+                        heapq.heappop(slot)
+                        self._wheel_count -= 1
+                        self._ncancelled -= 1
+                        continue
+                    if best is None or entry < best:
+                        best = entry
+                        container = slot
+                    break
+                if slot:
+                    break
+                if not self._wheel_count:
+                    break
+                slot_index += 1
+            self._wheel_min = slot_index
+        return best, container
+
+    def _compact(self) -> None:
+        """Rebuild the queues without their cancelled entries.
+
+        Triggered from :meth:`Event.cancel` once cancelled entries
+        outnumber live ones, so chaos/keep-alive workloads that cancel
+        long retry deadlines by the thousand do not accrete dead timers
+        (the queues are mutated in place: ``run()`` holds references).
+        """
+        heap = self._heap
+        live = [entry for entry in heap if not entry[2]._cancelled]
+        heapq.heapify(live)
+        heap[:] = live
+        count = 0
+        for slot in self._wheel:
+            if slot:
+                live = [entry for entry in slot if not entry[2]._cancelled]
+                heapq.heapify(live)
+                slot[:] = live
+                count += len(live)
+        self._wheel_count = count
+        nowq = self._nowq
+        for _ in range(len(nowq)):
+            event = nowq.popleft()
+            if not event._cancelled:
+                nowq.append(event)
+        self._ncancelled = 0
 
     def event(self) -> Event:
         """A fresh untriggered event."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._value = PENDING
+            event._ok = None
+            event._defused = False
+            event._cancelled = False
+            return event
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -426,7 +609,23 @@ class Simulator:
             event._defused = False
             event._cancelled = False
             event.delay = delay
-            self._enqueue(delay, event)
+            # _enqueue inlined: timeouts are the hottest enqueue source.
+            seq = self._seq + 1
+            self._seq = seq
+            now = self.now
+            when = now + delay
+            if when == now:
+                self._nowq.append(event)
+            elif when - now < 255.0:
+                slot = int(when)
+                count = self._wheel_count
+                if count == 0 or slot < self._wheel_min:
+                    self._wheel_min = slot
+                self._wheel_count = count + 1
+                heapq.heappush(self._wheel[slot & _WHEEL_MASK],
+                               (when, seq, event))
+            else:
+                heapq.heappush(self._heap, (when, seq, event))
             return event
         return Timeout(self, delay, value)
 
@@ -443,57 +642,214 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- execution ------------------------------------------------------
-    def _prune(self) -> None:
-        """Discard cancelled events sitting at the front of the heap."""
-        heap = self._heap
-        while heap and heap[0][2]._cancelled:
-            heapq.heappop(heap)
-
     def step(self) -> None:
         """Pop and execute the next scheduled event."""
-        heap = self._heap
-        while heap and heap[0][2]._cancelled:
-            heapq.heappop(heap)
-        if not heap:
-            return
-        when, _seq, event = heapq.heappop(heap)
-        if when < self.now:
-            raise SimulationError("time went backwards")
-        self.now = when
+        nowq = self._nowq
+        while nowq and nowq[0]._cancelled:
+            nowq.popleft()
+            self._ncancelled -= 1
+        event = None
+        if nowq:
+            # Fast path: something is due this very instant.  The only
+            # entries that may precede it (same timestamp, smaller seq)
+            # live in the current wheel slot or at the heap top.
+            now = self.now
+            slot = self._wheel[int(now) & _WHEEL_MASK]
+            while slot and slot[0][0] == now:
+                _when, _s, event = heapq.heappop(slot)
+                self._wheel_count -= 1
+                if event._cancelled:
+                    self._ncancelled -= 1
+                    event = None
+                    continue
+                break
+            if event is None:
+                heap = self._heap
+                while heap and heap[0][0] == now:
+                    _when, _s, event = heapq.heappop(heap)
+                    if event._cancelled:
+                        self._ncancelled -= 1
+                        event = None
+                        continue
+                    break
+            if event is None:
+                event = nowq.popleft()
+        else:
+            entry, container = self._earliest()
+            if entry is None:
+                return
+            when = entry[0]
+            if when < self.now:
+                raise SimulationError("time went backwards")
+            heapq.heappop(container)
+            if container is not self._heap:
+                self._wheel_count -= 1
+            self.now = when
+            event = entry[2]
+            # Drop the tuple so the refcount-2 recycle proof below holds.
+            entry = None
         event._run_callbacks()
-        # Recycle plain Timeouts nobody references anymore: the heap
-        # tuple is gone and the waiter resumed, so a refcount of 2
+        # Recycle Timeouts/Events nobody references anymore: the queue
+        # entry is gone and the waiter resumed, so a refcount of 2
         # (local + getrefcount argument) proves the object is garbage.
-        if type(event) is Timeout:
-            pool = self._timeout_pool
-            if len(pool) < _TIMEOUT_POOL_MAX and getrefcount(event) == 2:
-                pool.append(event)
+        cls = type(event)
+        if cls is Timeout:
+            if getrefcount(event) == 2:
+                self._timeout_pool.append(event)
+        elif cls is Event:
+            if getrefcount(event) == 2:
+                self._event_pool.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        self._prune()
-        return self._heap[0][0] if self._heap else float("inf")
+        nowq = self._nowq
+        while nowq and nowq[0]._cancelled:
+            nowq.popleft()
+            self._ncancelled -= 1
+        if nowq:
+            return self.now
+        entry, _container = self._earliest()
+        return entry[0] if entry is not None else float("inf")
 
     def run(self, until: Optional[float] = None, stop: Optional[Event] = None):
-        """Run until the heap drains, ``until`` time passes, or ``stop`` fires.
+        """Run until the queues drain, ``until`` passes, or ``stop`` fires.
 
         Returns the value of ``stop`` if given and it fired.
+
+        The unbounded form (``until is None``) is the wall-clock hot
+        loop of every benchmark, so the dispatch is inlined here rather
+        than calling :meth:`step` per event.  It cycles three phases:
+
+        1. pop every wheel/heap entry due at the current instant (they
+           carry smaller seqs than anything in the now-queue);
+        2. drain the now-queue with *no* wheel/heap checks — nothing
+           processed in this phase can schedule a new entry elsewhere
+           that is due at the current instant;
+        3. advance ``now`` to the earliest remaining entry and loop
+           (phase 1 pops it).
+
+        Event processing order is identical to repeated :meth:`step`.
         """
         if stop is not None and not isinstance(stop, Event):
             raise SimulationError("stop must be an Event")
-        step = self.step
+        nowq = self._nowq
         heap = self._heap
-        if stop is None and until is None:
-            while heap:
-                step()
-        else:
-            while heap:
+        if until is not None:
+            while nowq or heap or self._wheel_count:
                 if stop is not None and stop.callbacks is None:
                     break
-                if until is not None and self.peek() > until:
+                if self.peek() > until:
                     self.now = until
                     break
-                step()
+                self.step()
+        else:
+            wheel = self._wheel
+            heappop = heapq.heappop
+            popleft = nowq.popleft
+            timeout_pool = self._timeout_pool
+            event_pool = self._event_pool
+            timeout_cls = Timeout
+            event_cls = Event
+            refcount = getrefcount
+            running = not (stop is not None and stop.callbacks is None)
+            while running and (nowq or heap or self._wheel_count):
+                # -- phase 1: externals due at the current instant ----
+                now = self.now
+                slot = wheel[int(now) & _WHEEL_MASK]
+                while True:
+                    if slot and slot[0][0] == now:
+                        if heap and heap[0] < slot[0]:
+                            event = heappop(heap)[2]
+                        else:
+                            event = heappop(slot)[2]
+                            self._wheel_count -= 1
+                    elif heap and heap[0][0] == now:
+                        event = heappop(heap)[2]
+                    else:
+                        break
+                    if event._cancelled:
+                        self._ncancelled -= 1
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                    cls = type(event)
+                    if cls is timeout_cls:
+                        if refcount(event) == 2:
+                            timeout_pool.append(event)
+                    elif cls is event_cls:
+                        if refcount(event) == 2:
+                            event_pool.append(event)
+                    if stop is not None and stop.callbacks is None:
+                        running = False
+                        break
+                if not running:
+                    break
+                # -- phase 2: the now-queue ---------------------------
+                while nowq:
+                    event = popleft()
+                    if event._cancelled:
+                        self._ncancelled -= 1
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                    cls = type(event)
+                    if cls is timeout_cls:
+                        if refcount(event) == 2:
+                            timeout_pool.append(event)
+                    elif cls is event_cls:
+                        if refcount(event) == 2:
+                            event_pool.append(event)
+                    if stop is not None and stop.callbacks is None:
+                        running = False
+                        break
+                if not running:
+                    break
+                # -- phase 3: advance the clock -----------------------
+                # (_earliest() inlined, minus the container bookkeeping:
+                # only the time is needed — phase 1 pops everything due
+                # at the new instant in (time, seq) order.)
+                when = None
+                while heap:
+                    top = heap[0]
+                    if top[2]._cancelled:
+                        heappop(heap)
+                        self._ncancelled -= 1
+                        continue
+                    when = top[0]
+                    top = None
+                    break
+                if self._wheel_count:
+                    slot_index = self._wheel_min
+                    while True:
+                        slot = wheel[slot_index & _WHEEL_MASK]
+                        while slot:
+                            top = slot[0]
+                            if top[2]._cancelled:
+                                heappop(slot)
+                                self._wheel_count -= 1
+                                self._ncancelled -= 1
+                                continue
+                            if when is None or top[0] < when:
+                                when = top[0]
+                            top = None
+                            break
+                        if slot or not self._wheel_count:
+                            break
+                        slot_index += 1
+                    self._wheel_min = slot_index
+                if when is None:
+                    break
+                if when < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = when
         if stop is not None:
             if not stop.triggered:
                 raise SimulationError(

@@ -31,6 +31,12 @@ _pd_counter = itertools.count(start=1)
 # addresses used by kernel (physical) MRs.
 _VA_BASE = 1 << 44
 
+# Raw permission bits (see MemoryRegion._access_bits): the responder
+# check is a plain int ``&`` instead of enum.Flag.__and__ per packet.
+_NEED_REMOTE_WRITE = Access.REMOTE_WRITE.value
+_NEED_REMOTE_READ = Access.REMOTE_READ.value
+_NEED_REMOTE_ATOMIC = Access.REMOTE_ATOMIC.value
+
 
 class ProtectionDomain:
     """Groups MRs and QPs that may be used together."""
@@ -196,14 +202,15 @@ class Device:
 
     # -- responder path -------------------------------------------------------
     def _resolve_remote(
-        self, rkey: int, addr: int, nbytes: int, need: Access
+        self, rkey: int, addr: int, nbytes: int, need: int
     ) -> Tuple[Optional[MemoryRegion], WcStatus]:
         mr = self.mrs_by_rkey.get(rkey)
         if mr is None or mr.deregistered:
             return None, WcStatus.REM_INV_REQ_ERR
-        if not mr.contains(addr, nbytes):
+        if not (mr.base_addr <= addr
+                and addr + nbytes <= mr.base_addr + mr.size):
             return None, WcStatus.REM_ACCESS_ERR
-        if not (mr.access & need):
+        if not (mr._access_bits & need):
             return None, WcStatus.REM_ACCESS_ERR
         return mr, WcStatus.SUCCESS
 
@@ -231,7 +238,7 @@ class Device:
 
         if opcode in (Opcode.WRITE, Opcode.WRITE_IMM):
             mr, status = self._resolve_remote(
-                rkey, remote_addr, len(payload), Access.REMOTE_WRITE
+                rkey, remote_addr, len(payload), _NEED_REMOTE_WRITE
             )
             if status is not WcStatus.SUCCESS:
                 yield from rnic.process(cost)
@@ -258,7 +265,7 @@ class Device:
 
         if opcode is Opcode.READ:
             mr, status = self._resolve_remote(
-                rkey, remote_addr, length, Access.REMOTE_READ
+                rkey, remote_addr, length, _NEED_REMOTE_READ
             )
             if status is not WcStatus.SUCCESS:
                 yield from rnic.process(cost)
@@ -273,7 +280,7 @@ class Device:
                 return WcStatus.REM_ACCESS_ERR, 0, b""
 
         if opcode in (Opcode.FETCH_ADD, Opcode.CMP_SWAP):
-            mr, status = self._resolve_remote(rkey, remote_addr, 8, Access.REMOTE_ATOMIC)
+            mr, status = self._resolve_remote(rkey, remote_addr, 8, _NEED_REMOTE_ATOMIC)
             if status is not WcStatus.SUCCESS:
                 yield from rnic.process(cost)
                 return status, 0, b""

@@ -41,6 +41,9 @@ class MemoryRegion:
         self.base_addr = base_addr
         self.size = size
         self.access = access
+        # Raw flag bits for the responder's permission check: plain int
+        # ``&`` skips enum.Flag's __and__ machinery on every inbound op.
+        self._access_bits = access.value
         self.region = region
         self.physical = physical
         self.deregistered = False

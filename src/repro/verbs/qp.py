@@ -32,6 +32,9 @@ __all__ = ["QueuePair", "SharedReceiveQueue"]
 
 _ONE_SIDED = (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.READ)
 _ATOMICS = (Opcode.FETCH_ADD, Opcode.CMP_SWAP)
+# Opcodes that carry an outbound payload (hoisted: the tuple would
+# otherwise be rebuilt from three attribute loads per executed WR).
+_PAYLOAD_OPS = (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND)
 
 
 class SharedReceiveQueue:
@@ -74,6 +77,7 @@ class QueuePair:
         self.sim: Simulator = device.sim
         self.qpn = qpn
         self.qp_type = qp_type
+        self._is_rc = qp_type == "RC"
         self.pd = pd
         self.send_cq = send_cq
         self.recv_cq = recv_cq
@@ -252,9 +256,8 @@ class QueuePair:
             sge.mr.write(sge.offset, view[cursor : cursor + sge.length])
             cursor += sge.length
 
-    def _local_lookup_cost(self, wr: SendWR) -> float:
+    def _local_lookup_cost(self, wr: SendWR, rnic) -> float:
         """SRAM cost of resolving the local QP + every local SGE."""
-        rnic = self.device.rnic
         cost = rnic.qp_lookup_cost(self.qpn)
         for sge in wr.sgl:
             cost += rnic.key_lookup_cost(sge.mr.lkey)
@@ -270,14 +273,13 @@ class QueuePair:
         the IB spec.  Each failed RC attempt waits the local ACK timeout
         before retransmitting.
         """
-        reliable = self.qp_type == "RC"
         attempts = 0
         while True:
             try:
-                yield from fabric.transfer(src, dst, nbytes, flow=self.qpn)
+                yield from fabric.transfer(src, dst, nbytes, self.qpn)
                 return "ok"
             except TransferDropped:
-                if not reliable:
+                if not self._is_rc:
                     return "lost"
                 attempts += 1
                 if attempts > self.retry_cnt:
@@ -335,7 +337,7 @@ class QueuePair:
         finally:
             # Failure paths must still unblock the responder-ordering
             # chain and any delivery waiter, or successors deadlock.
-            done = getattr(wr, "_order_done", None)
+            done = wr._order_done
             if done is not None and not done.triggered:
                 done.succeed()
             if wr.delivered is not None and not wr.delivered.triggered:
@@ -377,26 +379,27 @@ class QueuePair:
                            chained=True)
 
         # 2. Local RNIC: lookups + payload DMA from host memory.
+        rnic = self.device.rnic
+        opcode = wr.opcode
         payload = b""
         outbound_dma = 0
-        if wr.opcode in (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND):
+        if opcode in _PAYLOAD_OPS:
             payload = self._gather(wr)
             outbound_dma = len(payload)
-        cost = self._local_lookup_cost(wr)
-        yield from self.device.rnic.process(cost, dma_bytes=outbound_dma)
+        cost = self._local_lookup_cost(wr, rnic)
+        yield from rnic.process(cost, dma_bytes=outbound_dma)
 
         # 3. Wire out: headers per MTU; READ/atomics send a request only.
-        if wr.opcode is Opcode.READ:
+        if opcode is Opcode.READ:
             out_bytes = wire_bytes(0)
-        elif wr.opcode in _ATOMICS:
+        elif opcode in _ATOMICS:
             out_bytes = wire_bytes(16)  # operands ride in the header
         else:
             out_bytes = wire_bytes(len(payload))
-        header_bytes = (
-            params.rnic_ud_header_bytes if self.qp_type == "UD" else 0
-        )
+        if self.qp_type == "UD":
+            out_bytes += params.rnic_ud_header_bytes
         sent = yield from self._transfer_retry(
-            fabric, src_node, dst_node, out_bytes + header_bytes
+            fabric, src_node, dst_node, out_bytes
         )
         if sent == "error":
             return WcStatus.RETRY_EXC_ERR, 0
@@ -412,55 +415,44 @@ class QueuePair:
             yield predecessor
         try:
             status, byte_len, return_payload = yield from remote_device.inbound(
-                opcode=wr.opcode,
-                src_node=src_node,
-                src_qpn=self.qpn,
-                dst_qpn=dst_qpn,
-                rkey=wr.rkey,
-                remote_addr=wr.remote_addr,
-                payload=payload,
-                imm=wr.imm,
-                length=wr.length,
-                compare_add=wr.compare_add,
-                swap=wr.swap,
-                qp_type=self.qp_type,
+                opcode, src_node, self.qpn, dst_qpn, wr.rkey, wr.remote_addr,
+                payload, wr.imm, wr.length, wr.compare_add, wr.swap,
+                self.qp_type,
             )
         finally:
-            done = getattr(wr, "_order_done", None)
+            done = wr._order_done
             if done is not None and not done.triggered:
                 done.succeed()
 
         if wr.delivered is not None and not wr.delivered.triggered:
             wr.delivered.succeed(status)
 
-        if status is WcStatus.RNR_RETRY_EXC_ERR and self.qp_type == "RC":
+        if status is WcStatus.RNR_RETRY_EXC_ERR and self._is_rc:
             # Receiver stayed not-ready past the RNR budget: fatal for
             # the connection, exactly like a transport retry blowout.
             self._enter_error()
             return status, 0
 
         # 5. Response path: RC acks everything; READ/atomics return data.
-        if wr.opcode is Opcode.READ and status is WcStatus.SUCCESS:
+        if opcode is Opcode.READ and status is WcStatus.SUCCESS:
             back = yield from self._transfer_retry(
                 fabric, dst_node, src_node, wire_bytes(len(return_payload))
             )
             if back == "error":
                 return WcStatus.RETRY_EXC_ERR, 0
             # Local RNIC scatters the response into the SGL.
-            cost = self.device.rnic.qp_lookup_cost(self.qpn)
-            yield from self.device.rnic.process(
-                cost, dma_bytes=len(return_payload)
-            )
+            cost = rnic.qp_lookup_cost(self.qpn)
+            yield from rnic.process(cost, dma_bytes=len(return_payload))
             self._scatter(wr, return_payload)
-        elif wr.opcode in _ATOMICS and status is WcStatus.SUCCESS:
+        elif opcode in _ATOMICS and status is WcStatus.SUCCESS:
             back = yield from self._transfer_retry(
                 fabric, dst_node, src_node, wire_bytes(8)
             )
             if back == "error":
                 return WcStatus.RETRY_EXC_ERR, 0
-            yield from self.device.rnic.process(0.0, dma_bytes=8)
+            yield from rnic.process(0.0, dma_bytes=8)
             self._scatter(wr, return_payload)
-        elif self.qp_type == "RC":
+        elif self._is_rc:
             back = yield from self._transfer_retry(
                 fabric, dst_node, src_node, ACK_BYTES
             )

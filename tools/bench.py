@@ -13,9 +13,13 @@ Usage:
     PYTHONPATH=<seed>/src python tools/bench.py --label baseline
     python tools/bench.py --quick                           # CI smoke run
 
-The harness only uses APIs present in the PR-2 seed, so the same file
+The op mixes only use APIs present in the PR-2 seed, so the same file
 can be pointed (via PYTHONPATH) at any older tree to produce a
-comparable baseline.
+comparable baseline.  ``--jobs N`` additionally times the parallel
+figure-sweep runner (serial vs N workers, asserting byte-identical
+results); ``--compare FILE`` turns the run into a regression gate:
+exit 1 if any mix's events/s falls more than 20% below the reference
+file's ``current`` entry.
 """
 
 from __future__ import annotations
@@ -131,10 +135,45 @@ def mix_rpc(quick: bool) -> dict:
     return {"ops": ops, "wall_s": wall, "sim_us": sim_us, "events": events}
 
 
+def mix_cancel_storm(quick: bool) -> dict:
+    """Timer cancel-storm: arm a far deadline, finish fast, cancel.
+
+    The keep-alive / RPC-deadline pattern that motivated the scheduler
+    overhaul: under lazy cancellation every dead timer used to sit in
+    the heap until its distant expiry, so the heap grew without bound
+    and every push/pop paid log(dead + live).  Uses only engine APIs so
+    the same mix runs against older trees for a baseline.
+    """
+    rounds = 2_000 if quick else 25_000
+    workers = 8
+    cluster, _kernels = _lite_pair()
+    sim = cluster.sim
+
+    def worker():
+        for _ in range(rounds):
+            deadline = sim.timeout(10_000.0)
+            yield sim.timeout(0.5)
+            deadline.cancel()
+
+    def driver():
+        procs = [sim.process(worker()) for _ in range(workers)]
+        for proc in procs:
+            yield proc
+
+    wall, sim_us, events = _timed_run(cluster, driver())
+    return {
+        "ops": rounds * workers,
+        "wall_s": wall,
+        "sim_us": sim_us,
+        "events": events,
+    }
+
+
 MIXES = {
     "small_ops": mix_small_ops,
     "large_msg": mix_large_msg,
     "rpc": mix_rpc,
+    "cancel_storm": mix_cancel_storm,
 }
 
 
@@ -217,6 +256,99 @@ def trace_overhead(quick: bool, repeats: int = 5) -> dict:
     }
 
 
+def _sweep_point(ops: int) -> dict:
+    """One figure-sweep point: a self-contained RPC sim, fully
+    deterministic output (simulated time + event count, no wall clock).
+    Module-level so the parallel runner can pickle it."""
+    cluster, kernels = _lite_pair()
+    client = LiteContext(kernels[0], "cli")
+    server = LiteContext(kernels[1], "srv")
+    cluster.sim.process(rpc_server_loop(server, 1, lambda data: data))
+    payload = b"s" * 256
+
+    def driver():
+        yield cluster.sim.timeout(5)
+        for _ in range(ops):
+            yield from client.lt_rpc(2, 1, payload, max_reply=1024)
+
+    cluster.run_process(driver())
+    return {"ops": ops, "sim_us": cluster.sim.now, "events": cluster.sim._seq}
+
+
+def sweep_timing(quick: bool, jobs: int) -> dict:
+    """Serial vs parallel wall clock for a figure-style sweep.
+
+    Byte-identity of the per-point results is asserted, not sampled:
+    the parallel runner must be a pure wall-clock optimization.
+    """
+    from repro.sweep import run_sweep
+
+    points = [120, 160, 200, 240] if quick else [400, 500, 600, 700, 800]
+    start = time.perf_counter()
+    serial = run_sweep(_sweep_point, points, jobs=1)
+    serial_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_sweep(_sweep_point, points, jobs=jobs)
+    parallel_wall = time.perf_counter() - start
+    identical = json.dumps(serial, sort_keys=True) == \
+        json.dumps(parallel, sort_keys=True)
+    assert identical, "parallel sweep diverged from serial results"
+    speedup = serial_wall / parallel_wall
+    print(f"  sweep ({len(points)} points): serial {serial_wall:.3f} s, "
+          f"--jobs {jobs} {parallel_wall:.3f} s ({speedup:.2f}x), "
+          f"results byte-identical")
+    return {
+        "points": points,
+        "jobs": jobs,
+        "host_cpus": os.cpu_count(),
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "speedup": speedup,
+        "identical": identical,
+    }
+
+
+def compare_gate(results: dict, reference_path: str,
+                 budget: float = 0.20) -> int:
+    """Regression gate: events/s must stay within ``budget`` of the
+    reference entry for every shared mix.  Returns a shell exit code.
+
+    Quick runs compare against a quick reference (``current_quick``):
+    op counts differ by ~5x between modes, so fixed setup costs make
+    cross-mode events/s incomparable.
+    """
+    try:
+        with open(reference_path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"  compare: cannot read {reference_path}: {exc}")
+        return 1
+    key = "current_quick" if results.get("quick") else "current"
+    reference = doc.get(key) or doc.get("current") or {}
+    if reference.get("quick", False) != results.get("quick", False):
+        print(f"  compare: warning — reference '{key}' mode differs "
+              f"from this run; ratios may be skewed")
+    failed = False
+    for name in MIXES:
+        ref = reference.get(name)
+        cur = results.get(name)
+        if not ref or not cur or "events_per_s" not in ref:
+            print(f"  compare[{name}]: no reference, skipped")
+            continue
+        ratio = cur["events_per_s"] / ref["events_per_s"]
+        verdict = "ok" if ratio >= 1.0 - budget else "REGRESSION"
+        print(f"  compare[{name}]: {ratio:.2f}x of reference "
+              f"({cur['events_per_s']:,.0f} vs {ref['events_per_s']:,.0f} "
+              f"events/s) {verdict}")
+        failed |= verdict != "ok"
+    if failed:
+        print(f"  compare: FAILED (events/s dropped more than "
+              f"{budget:.0%} below {reference_path})")
+        return 1
+    print("  compare: passed")
+    return 0
+
+
 def run_all(quick: bool) -> dict:
     results = {}
     for name, fn in MIXES.items():
@@ -240,11 +372,17 @@ def main(argv=None) -> int:
                         help="small op counts (CI smoke run)")
     parser.add_argument("--label", default="current",
                         help="key to record results under (default: current)")
-    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_pr3.json"),
+    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_pr5.json"),
                         help="JSON results file (merged, not overwritten)")
     parser.add_argument("--trace-overhead", action="store_true",
                         help="measure observability-layer overhead only "
                              "(asserts tracing-off stays within 5%%)")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="also time the figure-sweep runner serial vs "
+                             "N workers (asserts identical results)")
+    parser.add_argument("--compare", metavar="FILE",
+                        help="regression gate: exit 1 if any mix's events/s "
+                             "falls >20%% below FILE's 'current' entry")
     args = parser.parse_args(argv)
 
     if args.trace_overhead:
@@ -254,7 +392,16 @@ def main(argv=None) -> int:
 
     print(f"bench: label={args.label} quick={args.quick}")
     results = run_all(args.quick)
+    if args.compare:
+        # Gate on best-of-2 so a single noisy sample can't fail CI.
+        print("bench: second pass for the regression gate (best of 2)")
+        second = run_all(args.quick)
+        for name in MIXES:
+            if second[name]["events_per_s"] > results[name]["events_per_s"]:
+                results[name] = second[name]
     results["quick"] = args.quick
+    if args.jobs > 1:
+        results["sweep"] = sweep_timing(args.quick, args.jobs)
 
     doc = {}
     if os.path.exists(args.out):
@@ -277,6 +424,9 @@ def main(argv=None) -> int:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.out}")
+
+    if args.compare:
+        return compare_gate(results, args.compare)
     return 0
 
 

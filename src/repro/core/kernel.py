@@ -189,6 +189,14 @@ class LiteKernel:
         other.peers[self.lite_id] = theirs
         self.node_to_lite[other.node.node_id] = other.lite_id
         other.node_to_lite[self.node.node_id] = self.lite_id
+        # Build the fast-path cost tables eagerly so the very first op
+        # on each shared QP can commit without a table-build stall.
+        from ..verbs.fastpath import prime_qp
+
+        for qp in mine.qps:
+            prime_qp(qp)
+        for qp in theirs.qps:
+            prime_qp(qp)
 
     def peer(self, lite_id: int, check_alive: bool = True) -> PeerInfo:
         """Connection state toward a LITE instance (incl. loopback).

@@ -46,6 +46,11 @@ class QosManager:
         self._high_rtt_floor: Optional[float] = None
         self._next_low_slot = 0.0
         self.low_delayed_ops = 0
+        # (qp, window) pair lists per (peer lite_id, priority class),
+        # invalidated when the peer's QP count changes (QPs are only
+        # added during peer setup).  eligible_qps() sits on the per-op
+        # posting path, so rebuilding the zip per post adds up.
+        self._pairs_cache: dict = {}
 
     # -- telemetry ---------------------------------------------------------
     def observe(self, priority: int, rtt: float) -> None:
@@ -74,13 +79,17 @@ class QosManager:
     # -- QP selection (HW-Sep partitioning) ---------------------------------
     def eligible_qps(self, peer, priority: int) -> List[Tuple]:
         """(qp, window) pairs this priority class may use toward a peer."""
+        n_qps = len(peer.qps)
+        key = (peer.lite_id, priority)
+        cached = self._pairs_cache.get(key)
+        if cached is not None and cached[0] == n_qps:
+            return cached[1]
         pairs = list(zip(peer.qps, peer.windows))
-        if self.mode != "hw-sep" or len(pairs) < 2:
-            return pairs
-        split = max(1, (len(pairs) * 3) // 4)
-        if priority == PRIORITY_HIGH:
-            return pairs[:split]
-        return pairs[split:]
+        if self.mode == "hw-sep" and len(pairs) >= 2:
+            split = max(1, (len(pairs) * 3) // 4)
+            pairs = pairs[:split] if priority == PRIORITY_HIGH else pairs[split:]
+        self._pairs_cache[key] = (n_qps, pairs)
+        return pairs
 
     def pick_qp(self, peer, priority: int) -> Tuple:
         """Round-robin a (qp, window) from the class's eligible set."""

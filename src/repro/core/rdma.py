@@ -17,6 +17,7 @@ import struct
 from typing import List
 
 from ..verbs import Opcode, SendWR, WcStatus
+from ..verbs.fastpath import try_fast_post
 from .errors import EIO, ETIMEDOUT, LiteError
 from .lmr import MappedLmr
 
@@ -55,6 +56,28 @@ class OneSidedEngine:
         self.async_write_failures = 0
 
     # -- helpers -----------------------------------------------------------
+    def _try_fast(self, peer, wr: SendWR, priority: int,
+                  extra_pad: int, make_handle: bool):
+        """Attempt run-to-completion execution of one WR (see fastpath.py).
+
+        Peeks the same (qp, window) pair :meth:`_post` would round-robin
+        onto; the RR bump and the doorbell CPU charge are replayed only
+        on commit, so a declined attempt leaves LITE state untouched and
+        the generator fallback proceeds exactly as if never tried.
+        ``extra_pad`` is this layer's avoided-enqueue count: the process
+        boot + the instant window grant (+ the process-completion event
+        when no handle replaces it).
+        """
+        pairs = self.kernel.qos.eligible_qps(peer, priority)
+        qp, window = pairs[peer._rr % len(pairs)]
+        result = try_fast_post(qp, wr, window, extra_pad, make_handle)
+        if result is not None:
+            peer._rr += 1
+            self.kernel.node.cpu.charge(
+                "lite-post", self.params.rnic_doorbell_us
+            )
+        return result
+
     def _post(self, peer_id: int, wr: SendWR, priority: int):
         """Issue one WR on a shared QP, respecting per-QP windows.
 
@@ -202,7 +225,13 @@ class OneSidedEngine:
                 remote_addr=remote_addr,
                 rkey=rkey,
             )
-            procs.append(self.sim.process(self._post(chunk.node_id, wr, priority)))
+            handle = self._try_fast(peer, wr, priority, 2, True)
+            if handle is not None:
+                procs.append(handle)
+            else:
+                procs.append(
+                    self.sim.process(self._post(chunk.node_id, wr, priority))
+                )
         if procs:
             results = yield self.sim.all_of(procs)
             self._check(list(results.values()), "write")
@@ -236,7 +265,13 @@ class OneSidedEngine:
                 rkey=rkey,
                 read_length=piece_len,
             )
-            procs.append(self.sim.process(self._post(chunk.node_id, wr, priority)))
+            handle = self._try_fast(peer, wr, priority, 2, True)
+            if handle is not None:
+                procs.append(handle)
+            else:
+                procs.append(
+                    self.sim.process(self._post(chunk.node_id, wr, priority))
+                )
             proc_meta.append((index, wr))
         if procs:
             results = yield self.sim.all_of(procs)
@@ -435,13 +470,25 @@ class OneSidedEngine:
         dropped (the higher-level timeout/retry machinery is the
         recovery path), never allowed to crash the simulation.
         """
+        peer = self.kernel.peer(peer_id)
+        opcode = Opcode.WRITE if imm is None else Opcode.WRITE_IMM
+        wr = SendWR(
+            opcode,
+            inline_data=data,
+            remote_addr=phys_addr,
+            rkey=peer.global_rkey,
+            imm=imm,
+            signaled=False,
+        )
+        # extra_pad 3: runner boot + window grant + runner completion.
+        if self._try_fast(peer, wr, priority, 3, False) is not None:
+            return
 
+        # The WR is reused (not rebuilt) so a declined fast attempt
+        # consumes exactly one wr_id either way.
         def runner():
             try:
-                yield from self.raw_write(
-                    peer_id, phys_addr, data, imm=imm, signaled=False,
-                    priority=priority,
-                )
+                yield from self._post(peer_id, wr, priority)
             except LiteError:
                 self.async_write_failures += 1
 

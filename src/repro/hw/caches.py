@@ -96,9 +96,46 @@ class LruCache:
         stats.installs += 1
         return False
 
+    def access_many(self, keys: Iterable[Hashable]) -> "tuple[int, int]":
+        """Bulk :meth:`access`; returns ``(hits, misses)``.
+
+        State- and stats-equivalent to looping :meth:`access` over
+        ``keys`` (same final LRU order, same per-key evictions), but the
+        counters are updated once at the end instead of per key.
+        """
+        entries = self._entries
+        capacity = self.capacity
+        hits = misses = evictions = installs = 0
+        for key in keys:
+            if key in entries:
+                del entries[key]
+                entries[key] = None
+                hits += 1
+                continue
+            misses += 1
+            if len(entries) >= capacity:
+                del entries[next(iter(entries))]
+                evictions += 1
+            entries[key] = None
+            installs += 1
+        stats = self.stats
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.installs += installs
+        return hits, misses
+
     def contains(self, key: Hashable) -> bool:
         """Probe without updating recency or stats."""
         return key in self._entries
+
+    def contains_all(self, keys: Iterable[Hashable]) -> bool:
+        """Probe many keys without updating recency or stats."""
+        entries = self._entries
+        for key in keys:
+            if key not in entries:
+                return False
+        return True
 
     def _install(self, key: Hashable) -> None:
         entries = self._entries

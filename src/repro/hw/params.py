@@ -125,6 +125,22 @@ class SimParams:
 
     derived: dict = field(default_factory=dict, repr=False)
 
+    def __setattr__(self, name, value):
+        # Every field assignment (including the ones dataclass __init__
+        # makes) bumps a monotonic version; fast-path cost tables key on
+        # it so any post-construction param mutation invalidates them.
+        # ``derived`` and private names are bookkeeping, not cost inputs.
+        object.__setattr__(self, name, value)
+        if name != "derived" and not name.startswith("_"):
+            object.__setattr__(
+                self, "_version", self.__dict__.get("_version", 0) + 1
+            )
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (see ``__setattr__``)."""
+        return self.__dict__.get("_version", 0)
+
     def wire_time(self, nbytes: int) -> float:
         """Serialization time of ``nbytes`` on one 40 Gbps link."""
         return nbytes / self.link_bandwidth_bytes_per_us

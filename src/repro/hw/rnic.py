@@ -40,6 +40,10 @@ class Rnic:
         self._pipeline = Resource(sim, capacity=params.rnic_processing_units)
         self.wqe_count = 0
         self.bytes_dma = 0
+        # Bumped whenever cached per-op cost inputs tied to this RNIC
+        # change (MR invalidation, cache resize); fast-path cost tables
+        # key on it (see verbs/fastpath.py).
+        self.cost_version = 0
 
     # -- SRAM lookup costs (computed eagerly, spent inside process()) ---
     def key_lookup_cost(self, key: int) -> float:
@@ -53,14 +57,15 @@ class Rnic:
 
     def pte_lookup_cost(self, page_ids: Sequence) -> float:
         """Cost of resolving the PTEs for every page an access touches."""
+        hits, misses = self.pte_cache.access_many(page_ids)
+        # Accumulate the penalty per miss (not misses * penalty): repeated
+        # float addition is what the golden traces were recorded with, and
+        # the two shapes are not bit-identical for every count.
         cost = 0.0
-        hits = misses = 0
-        for page in page_ids:
-            if self.pte_cache.access(page):
-                hits += 1
-            else:
-                misses += 1
-                cost += self.params.pte_miss_penalty_us
+        if misses:
+            penalty = self.params.pte_miss_penalty_us
+            for _ in range(misses):
+                cost += penalty
         tracer = self.sim.tracer
         if tracer is not None and (hits or misses):
             # One summary marker per access, not one per page.
@@ -88,6 +93,23 @@ class Rnic:
         self.key_cache.invalidate(key)
         if page_ids:
             self.pte_cache.invalidate_many(page_ids)
+        self.cost_version += 1
+
+    def resize_caches(self, key_entries: int = None, pte_entries: int = None,
+                      qp_entries: int = None) -> None:
+        """Replace one or more SRAM caches with fresh, resized ones.
+
+        Contents and stats start empty (an SRAM reconfiguration flushes
+        it); ``cost_version`` is bumped so fast-path cost tables that
+        captured references to the old cache objects rebuild.
+        """
+        if key_entries is not None:
+            self.key_cache = LruCache(key_entries, name="mr-keys")
+        if pte_entries is not None:
+            self.pte_cache = LruCache(pte_entries, name="ptes")
+        if qp_entries is not None:
+            self.qp_cache = LruCache(qp_entries, name="qp-state")
+        self.cost_version += 1
 
     # -- pipeline --------------------------------------------------------
     def process(self, extra_cost: float = 0.0, dma_bytes: int = 0):

@@ -35,6 +35,7 @@ wholesale when they exceed half of all pending entries.
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from sys import getrefcount
 from types import GeneratorType
@@ -467,7 +468,7 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_seq", "active_process", "_timeout_pool",
                  "_event_pool", "tracer", "_nowq", "_wheel", "_wheel_count",
-                 "_wheel_min", "_ncancelled")
+                 "_wheel_min", "_ncancelled", "_fpq", "fastpath_enabled")
 
     def __init__(self):
         self.now: float = 0.0
@@ -489,6 +490,17 @@ class Simulator:
         self._wheel_min = 0
         # Cancelled events still sitting in a queue (compaction trigger).
         self._ncancelled = 0
+        # Fast-path batch queue: ``(when, seq, fn)`` tuples scheduled by
+        # run-to-completion op commits (see verbs/fastpath.py).  Each
+        # entry is one *batch dispatch*: the callable applies every state
+        # transition (resource releases, CQE pushes, completion wake-ups)
+        # that lands at that instant, replacing one scheduled event per
+        # transition.  Entries are never cancelled, and seqs are unique,
+        # so the callable is never compared.
+        self._fpq: list = []
+        # Kill switch for run-to-completion op execution.  Read once at
+        # construction; tests may also flip the attribute directly.
+        self.fastpath_enabled = os.environ.get("REPRO_NO_FASTPATH", "") != "1"
 
     # -- scheduling -----------------------------------------------------
     def _enqueue(self, delay: float, event: Event) -> None:
@@ -555,6 +567,32 @@ class Simulator:
                 slot_index += 1
             self._wheel_min = slot_index
         return best, container
+
+    def fp_schedule(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule a fast-path batch dispatch at absolute time ``when``.
+
+        ``fn`` runs with ``now == when``, ordered against ordinary
+        events by ``(when, seq)`` exactly as if it had been enqueued
+        here as an event.  It must only *enqueue* further work (succeed
+        events, release resources), never run callbacks synchronously.
+        """
+        seq = self._seq + 1
+        self._seq = seq
+        heapq.heappush(self._fpq, (when, seq, fn))
+
+    def fp_horizon(self) -> float:
+        """Earliest pending *ordinary* event time (``inf`` if none).
+
+        Fast-path commit asks: "can anything already scheduled observe
+        intermediate state before this op would finish?"  Pending batch
+        dispatches are invisible — they belong to already-committed fast
+        ops whose interleaving is accounted for — so only the now-queue,
+        wheel, and heap are consulted.
+        """
+        if self._nowq:
+            return self.now
+        entry, _container = self._earliest()
+        return entry[0] if entry is not None else float("inf")
 
     def _compact(self) -> None:
         """Rebuild the queues without their cancelled entries.
@@ -648,34 +686,49 @@ class Simulator:
         while nowq and nowq[0]._cancelled:
             nowq.popleft()
             self._ncancelled -= 1
+        fpq = self._fpq
         event = None
         if nowq:
             # Fast path: something is due this very instant.  The only
             # entries that may precede it (same timestamp, smaller seq)
-            # live in the current wheel slot or at the heap top.
+            # live in the current wheel slot, at the heap top, or in the
+            # fast-path batch queue.
             now = self.now
             slot = self._wheel[int(now) & _WHEEL_MASK]
-            while slot and slot[0][0] == now:
-                _when, _s, event = heapq.heappop(slot)
+            while slot and slot[0][0] == now and slot[0][2]._cancelled:
+                heapq.heappop(slot)
                 self._wheel_count -= 1
-                if event._cancelled:
-                    self._ncancelled -= 1
-                    event = None
-                    continue
-                break
-            if event is None:
-                heap = self._heap
-                while heap and heap[0][0] == now:
-                    _when, _s, event = heapq.heappop(heap)
-                    if event._cancelled:
-                        self._ncancelled -= 1
-                        event = None
-                        continue
-                    break
-            if event is None:
+                self._ncancelled -= 1
+            heap = self._heap
+            while heap and heap[0][0] == now and heap[0][2]._cancelled:
+                heapq.heappop(heap)
+                self._ncancelled -= 1
+            container = None
+            if slot and slot[0][0] == now:
+                container = slot
+            elif heap and heap[0][0] == now:
+                container = heap
+            if fpq and fpq[0][0] == now and (
+                container is None or fpq[0][1] < container[0][1]
+            ):
+                fn = heapq.heappop(fpq)[2]
+                fn()
+                return
+            if container is not None:
+                event = heapq.heappop(container)[2]
+                if container is not heap:
+                    self._wheel_count -= 1
+            else:
                 event = nowq.popleft()
         else:
             entry, container = self._earliest()
+            if fpq and (entry is None or fpq[0][:2] < entry[:2]):
+                when, _s, fn = heapq.heappop(fpq)
+                if when < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = when
+                fn()
+                return
             if entry is None:
                 return
             when = entry[0]
@@ -709,7 +762,11 @@ class Simulator:
         if nowq:
             return self.now
         entry, _container = self._earliest()
-        return entry[0] if entry is not None else float("inf")
+        when = entry[0] if entry is not None else float("inf")
+        fpq = self._fpq
+        if fpq and fpq[0][0] < when:
+            return fpq[0][0]
+        return when
 
     def run(self, until: Optional[float] = None, stop: Optional[Event] = None):
         """Run until the queues drain, ``until`` passes, or ``stop`` fires.
@@ -735,7 +792,7 @@ class Simulator:
         nowq = self._nowq
         heap = self._heap
         if until is not None:
-            while nowq or heap or self._wheel_count:
+            while nowq or heap or self._wheel_count or self._fpq:
                 if stop is not None and stop.callbacks is None:
                     break
                 if self.peek() > until:
@@ -751,22 +808,43 @@ class Simulator:
             timeout_cls = Timeout
             event_cls = Event
             refcount = getrefcount
+            fpq = self._fpq
             running = not (stop is not None and stop.callbacks is None)
-            while running and (nowq or heap or self._wheel_count):
+            while running and (nowq or heap or self._wheel_count or fpq):
                 # -- phase 1: externals due at the current instant ----
+                # (plus fast-path batch dispatches, merged in (when, seq)
+                # order; their callables only enqueue further work, so
+                # they cannot trigger ``stop`` mid-phase.)
                 now = self.now
                 slot = wheel[int(now) & _WHEEL_MASK]
                 while True:
                     if slot and slot[0][0] == now:
                         if heap and heap[0] < slot[0]:
-                            event = heappop(heap)[2]
+                            entry = heap[0]
+                            source = heap
                         else:
-                            event = heappop(slot)[2]
-                            self._wheel_count -= 1
+                            entry = slot[0]
+                            source = slot
                     elif heap and heap[0][0] == now:
-                        event = heappop(heap)[2]
+                        entry = heap[0]
+                        source = heap
                     else:
+                        entry = None
+                        source = None
+                    if fpq and fpq[0][0] == now and (
+                        entry is None or fpq[0][1] < entry[1]
+                    ):
+                        fn = heappop(fpq)[2]
+                        fn()
+                        continue
+                    if source is None:
                         break
+                    event = heappop(source)[2]
+                    # Drop the peeked tuple so the refcount-2 recycle
+                    # proof below still holds.
+                    entry = None
+                    if source is not heap:
+                        self._wheel_count -= 1
                     if event._cancelled:
                         self._ncancelled -= 1
                         continue
@@ -845,6 +923,28 @@ class Simulator:
                             break
                         slot_index += 1
                     self._wheel_min = slot_index
+                if fpq:
+                    fpq_when = fpq[0][0]
+                    if when is None or fpq_when < when:
+                        # Pure fast-path stretch: every pending batch
+                        # dispatch up to the external front runs in this
+                        # tight drain.  The callables only enqueue to the
+                        # now-queue (never to the wheel/heap), so ``when``
+                        # — the earliest external time — cannot move
+                        # while draining, and same-instant (when, seq)
+                        # interleaving with externals is phase 1's job
+                        # the moment the drain reaches ``when``.
+                        self.now = fpq_when
+                        while True:
+                            fn = heappop(fpq)[2]
+                            fn()
+                            if nowq or not fpq:
+                                break
+                            fpq_when = fpq[0][0]
+                            if when is not None and fpq_when >= when:
+                                break
+                            self.now = fpq_when
+                        continue
                 if when is None:
                     break
                 if when < self.now:

@@ -1,0 +1,640 @@
+"""Run-to-completion fast paths for uncontended one-sided operations.
+
+The generator datapath walks ~10 frames per op (`api` → `kernel` → `qp`
+→ `rnic` → `fabric`), each suspension costing a scheduler round trip —
+even when nothing can actually block.  This module detects that
+uncontended case at post time and executes the whole op as arithmetic:
+the timeline every layer *would* produce is computed from a per-QP cost
+table, the synchronous state transitions are applied immediately, and
+the handful of transitions that land later (resource releases, the
+responder-order event, CQE delivery) are scheduled as *batch dispatches*
+on the engine's fast-path queue (`Simulator.fp_schedule`) — one callable
+per distinct instant instead of one event per transition.
+
+Soundness rests on two pillars:
+
+1. **Real holds.**  Every resource the op would occupy (SQ slot, QP
+   window, both RNIC pipelines, the four port channels) is acquired with
+   a real ``in_use`` increment at commit and released by a real
+   ``release()`` at the exact instant the slow path would release it.
+   A concurrent op that falls back to the generator path therefore
+   queues and wakes exactly as it would against a slow holder.
+
+2. **The horizon check.**  An op commits only when the now-queue is
+   empty and no ordinary event is scheduled before the op's completion
+   time (`Simulator.fp_horizon`).  Until the op finishes, the only
+   actors in the simulation are this op's own batch dispatches and those
+   of previously committed fast ops — so no third party can observe the
+   (slightly widened) hold windows or the eagerly-applied counters.
+
+What still deviates, by design (all counter/LRU-state end-equivalent,
+none timing-visible under the horizon check; see INTERNALS §13):
+cache recency is replayed at commit time rather than at the lookup
+instants, and byte counters (fabric/RNIC/port) are applied at commit.
+Residual mismodels (a resource found full at an acquire instant, an SRQ
+drained by a foreign consumer mid-flight) are counted in ``fp_stats``.
+
+Sequence-counter padding: ``Simulator._seq`` doubles as the benchmark
+event counter, and every grant/timeout the slow path would have enqueued
+bumps it.  A fast commit bumps ``_seq`` by the number of enqueues it
+*avoided* so the final count — and the absolute (time, seq) order of all
+surviving events — is identical with the fast path on or off.  The
+per-opcode pad constants below are derived in-line; the equivalence
+tests assert final ``_seq`` equality against ``REPRO_NO_FASTPATH=1``.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+
+from .wr import ACK_BYTES, Access, Opcode, WcStatus, WorkCompletion, wire_bytes
+
+__all__ = ["try_fast_post", "prime_qp", "fp_stats", "FastPathStats"]
+
+_NEED_REMOTE_WRITE = Access.REMOTE_WRITE.value
+_NEED_REMOTE_READ = Access.REMOTE_READ.value
+_WIRE0 = wire_bytes(0)
+
+# Size-class memo bound per cost table: distinct payload sizes seen on
+# one QP.  Benchmarks use a handful of sizes; a pathological size sweep
+# clears and rebuilds rather than growing without bound.
+_MEMO_MAX = 512
+
+# Enqueues the generator path performs per op that the fast path does
+# not, below the LITE layer (callers add their own layer's pad).
+#
+# Slow-path enqueues from post_send() onward, common prefix (11):
+#   exec-process boot, SQ-slot grant, doorbell timeout, local-pipeline
+#   grant, local-RNIC timeout, src-TX grant, dst-RX grant, serialization
+#   timeout, propagation timeout, remote-pipeline grant, remote-RNIC
+#   timeout.
+# Plus per opcode:
+#   WRITE:     order-done, ACK leg (tx, rx, ser, prop, rnic-ack) = 6,
+#              exec-process succeed                     → 18 total
+#   WRITE_IMM: recv-queue grant, recv-completion timeout, order-done,
+#              ACK leg = 5, exec-process succeed        → 20 total
+#   READ:      order-done, response leg (tx, rx, ser, prop) = 4,
+#              2nd local pipeline grant + timeout = 2,
+#              exec-process succeed                     → 20 total
+# (+1 completion timeout when signaled.)
+#
+# Fast-path real enqueues (fp_schedule bumps _seq once per dispatch,
+# order-done succeeds for real; the completion handle is accounted by
+# the caller's pad):
+#   WRITE:     5 dispatches + order-done = 6   → pad 18 - 6  = 12
+#   WRITE_IMM: 6 dispatches + order-done = 7   → pad 20 - 7  = 13
+#   READ:      7 dispatches + order-done = 8   → pad 20 - 8  = 11 (+1 sig)
+_CORE_PAD = {Opcode.WRITE: 12, Opcode.WRITE_IMM: 13, Opcode.READ: 11}
+
+
+class FastPathStats:
+    """Module-wide fast-path telemetry (host-side only, not sim state)."""
+
+    __slots__ = ("attempts", "commits", "mismodels", "table_builds")
+
+    def __init__(self):
+        self.attempts = 0
+        self.commits = 0
+        self.mismodels = 0
+        self.table_builds = 0
+
+    def reset(self) -> None:
+        self.attempts = 0
+        self.commits = 0
+        self.mismodels = 0
+        self.table_builds = 0
+
+    def __repr__(self) -> str:
+        return (f"FastPathStats(attempts={self.attempts}, "
+                f"commits={self.commits}, mismodels={self.mismodels})")
+
+
+fp_stats = FastPathStats()
+
+
+class CostTable:
+    """Per-(QP, op-kind, size-class) precomputed cost constants.
+
+    Built lazily at first fast post (or eagerly via :func:`prime_qp`),
+    keyed by the versions of every input it folds in: the local, remote,
+    and fabric ``SimParams`` mutation counters plus both RNICs'
+    ``cost_version`` (bumped on MR invalidation and cache resize, which
+    also rotate the cache objects referenced here).  Per-size costs are
+    memoised in ``_sizes``: size → (local RNIC occupancy, remote RNIC
+    occupancy, wire serialization), each the bit-exact float expression
+    the generator path computes per WQE.
+    """
+
+    __slots__ = (
+        "qp", "remote", "stamp", "fabric", "rdev", "rqp",
+        "lrnic", "rrnic", "lpipe", "rpipe", "src_port", "dst_port",
+        "src_tx", "src_rx", "dst_tx", "dst_rx",
+        "src_node", "dst_node", "dst_qpn",
+        "doorbell", "wqe_l", "ser0", "prop", "ack_ser", "rnic_ack",
+        "completion_l", "completion_r", "srq_source", "srq_items",
+        "_lparams", "_rparams", "_fparams", "_link_bw", "_sizes",
+        "_spans", "_mem",
+    )
+
+    def __init__(self, qp):
+        device = qp.device
+        node = device.node
+        fabric = node.fabric
+        dst_node, dst_qpn = qp.remote
+        rnode = fabric.nodes.get(dst_node)
+        if rnode is None:
+            raise KeyError(dst_node)
+        rdev = rnode.device
+        lparams = device.params
+        rparams = rdev.params
+        fparams = fabric.params
+        lrnic = device.rnic
+        rrnic = rdev.rnic
+
+        self.qp = qp
+        self.remote = qp.remote
+        self.fabric = fabric
+        self.rdev = rdev
+        self.rqp = rdev.qps.get(dst_qpn)
+        self.lrnic = lrnic
+        self.rrnic = rrnic
+        self.lpipe = lrnic._pipeline
+        self.rpipe = rrnic._pipeline
+        self.src_node = node.node_id
+        self.dst_node = dst_node
+        self.dst_qpn = dst_qpn
+        src_port = fabric.ports.get(node.node_id)
+        dst_port = fabric.ports.get(dst_node)
+        if src_port is None or dst_port is None:
+            raise KeyError(dst_node)
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.src_tx = src_port.tx
+        self.src_rx = src_port.rx
+        self.dst_tx = dst_port.tx
+        self.dst_rx = dst_port.rx
+
+        self.doorbell = lparams.rnic_doorbell_us
+        self.wqe_l = lparams.rnic_wqe_process_us
+        link_bw = fparams.link_bandwidth_bytes_per_us
+        self._link_bw = link_bw
+        self.ser0 = _WIRE0 / link_bw
+        # Same expression shape as fabric._transfer_impl's inlined
+        # one_way_fabric_us (bit-exact float parity).
+        self.prop = (2 * fparams.link_propagation_us
+                     + fparams.switch_latency_us)
+        self.ack_ser = ACK_BYTES / link_bw
+        self.rnic_ack = lparams.rnic_ack_us
+        self.completion_l = lparams.rnic_completion_us
+        self.completion_r = rparams.rnic_completion_us
+
+        self._lparams = lparams
+        self._rparams = rparams
+        self._fparams = fparams
+        self._sizes = {}
+        # (rkey, addr, nbytes, need) → resolved span.  MR identity,
+        # bounds, access bits, and the page list are immutable for a
+        # live registration (deregistration bumps the remote RNIC's
+        # cost_version, stamped below, invalidating the whole table);
+        # the backing resolution carries the host allocator's free
+        # epoch and is revalidated with one compare per hit.
+        self._spans = {}
+        self._mem = rnode.memory
+        # Receive-queue source for inbound WRITE_IMM, resolved lazily
+        # and revalidated by identity per attempt.
+        self.srq_source = None
+        self.srq_items = None
+        self.stamp = self._current_stamp()
+        fp_stats.table_builds += 1
+
+    def _current_stamp(self):
+        return (
+            self._lparams._version,
+            self._rparams._version,
+            self._fparams._version,
+            self.lrnic.cost_version,
+            self.rrnic.cost_version,
+        )
+
+    def valid(self) -> bool:
+        """True while every folded-in input is unchanged."""
+        return (self.remote == self.qp.remote
+                and self.stamp == self._current_stamp())
+
+    def size_costs(self, nbytes: int):
+        """(local occupancy, remote occupancy, serialization, wire bytes).
+
+        Bit-exact to the slow path: occupancy is
+        ``rnic_wqe_process_us + dma_time(nbytes)`` (the all-hit lookup
+        cost is exactly ``0.0``, and ``x + 0.0 == x``), serialization is
+        ``wire_bytes(nbytes) / link_bandwidth`` in one division, as in
+        ``fabric._transfer_impl``.
+        """
+        entry = self._sizes.get(nbytes)
+        if entry is None:
+            if len(self._sizes) >= _MEMO_MAX:
+                self._sizes.clear()
+            lp = self._lparams
+            rp = self._rparams
+            wire = wire_bytes(nbytes)
+            entry = self._sizes[nbytes] = (
+                lp.rnic_wqe_process_us + lp.dma_time(nbytes),
+                rp.rnic_wqe_process_us + rp.dma_time(nbytes),
+                wire / self._link_bw,
+                wire,
+            )
+        return entry
+
+
+def _table_for(qp):
+    table = qp._fp_table
+    if table is not None and table.valid():
+        return table
+    try:
+        table = CostTable(qp)
+    except KeyError:
+        return None
+    qp._fp_table = table
+    return table
+
+
+def prime_qp(qp) -> None:
+    """Build a QP's cost table eagerly (called at connection setup)."""
+    if qp._is_rc and qp.remote is not None:
+        _table_for(qp)
+
+
+def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):
+    """Attempt run-to-completion execution of ``wr`` on ``qp``.
+
+    Returns the completion event (``make_handle=True``; it succeeds with
+    the WcStatus at the op's completion instant), ``True`` on a
+    committed fire-and-forget op, or ``None`` when any entry condition
+    fails — in which case *no state has been touched* and the caller
+    must take the generator path.
+
+    ``window`` is the LITE per-QP window resource to hold for the op's
+    lifetime; ``extra_pad`` is the caller layer's avoided-enqueue count
+    (see the pad ledger above).
+    """
+    sim = qp.sim
+    if not sim.fastpath_enabled or sim.tracer is not None:
+        return None
+    fp_stats.attempts += 1
+
+    opcode = wr.opcode
+    if opcode is Opcode.WRITE or opcode is Opcode.WRITE_IMM:
+        payload = wr.inline_data
+        if payload is None or wr.sgl:
+            return None
+        nbytes = len(payload)
+        if nbytes == 0:
+            return None
+    elif opcode is Opcode.READ:
+        if wr.sgl or wr.inline_data is not None:
+            return None
+        payload = None
+        nbytes = wr.read_length
+        if nbytes <= 0:
+            return None
+    else:
+        return None
+
+    if (not qp._is_rc or qp.state != "RTS" or qp.remote is None
+            or wr.delivered is not None):
+        return None
+    pred = qp._last_remote_done
+    if pred is not None and pred.callbacks is not None:
+        return None
+    sq = qp._sq_slots
+    if sq.in_use >= sq.capacity:
+        return None
+    if window is not None and window.in_use >= window.capacity:
+        return None
+    if sim._nowq:
+        return None
+
+    table = _table_for(qp)
+    if table is None:
+        return None
+    if table.src_node == table.dst_node:
+        return None  # loopback short-circuits the wire; keep it slow
+    fabric = table.fabric
+    if fabric.fault is not None:
+        return None
+    src_port = table.src_port
+    dst_port = table.dst_port
+    if not src_port.up or not dst_port.up:
+        return None
+    src_tx = table.src_tx
+    dst_rx = table.dst_rx
+    dst_tx = table.dst_tx
+    src_rx = table.src_rx
+    if src_tx.in_use or dst_rx.in_use or dst_tx.in_use or src_rx.in_use:
+        return None
+    lpipe = table.lpipe
+    rpipe = table.rpipe
+    if lpipe.in_use >= lpipe.capacity or rpipe.in_use >= rpipe.capacity:
+        return None
+
+    # All SRAM lookups must hit, so every lookup cost is exactly 0.0 and
+    # the precomputed occupancies apply.  Probes are non-mutating; the
+    # hits are replayed (for LRU recency and stats) at commit below.
+    lrnic = table.lrnic
+    rrnic = table.rrnic
+    dst_qpn = table.dst_qpn
+    if not lrnic.qp_cache.contains(qp.qpn):
+        return None
+    if not rrnic.qp_cache.contains(dst_qpn):
+        return None
+    rkey = wr.rkey
+    if not rrnic.key_cache.contains(rkey):
+        return None
+
+    rdev = table.rdev
+    need = _NEED_REMOTE_READ if opcode is Opcode.READ else _NEED_REMOTE_WRITE
+    addr = wr.remote_addr
+    # Inline replay of rdev._resolve_remote, memoised per span (see the
+    # _spans comment in CostTable).
+    span = table._spans.get((rkey, addr, nbytes, need))
+    if span is not None and span[3] == table._mem.version:
+        mr, offset, pages, _epoch, backing, reg_off = span
+    else:
+        mr = rdev.mrs_by_rkey.get(rkey)
+        if mr is None or mr.deregistered:
+            return None
+        base = mr.base_addr
+        if not (base <= addr and addr + nbytes <= base + mr.size):
+            return None
+        if not (mr._access_bits & need):
+            return None
+        offset = addr - base
+        pages = () if mr.physical else tuple(mr.page_ids(offset, nbytes))
+        try:
+            backing, reg_off = mr._backing(offset, nbytes)
+        except ValueError:
+            return None
+        spans = table._spans
+        if len(spans) >= _MEMO_MAX:
+            spans.clear()
+        spans[(rkey, addr, nbytes, need)] = (
+            mr, offset, pages, table._mem.version, backing, reg_off,
+        )
+    if pages and not rrnic.pte_cache.contains_all(pages):
+        return None
+
+    rqp = srq_source = srq_items = None
+    if opcode is Opcode.WRITE_IMM:
+        rqp = table.rqp
+        if rqp is None or rqp is not rdev.qps.get(dst_qpn):
+            rqp = rdev.qps.get(dst_qpn)
+            table.rqp = rqp
+            if rqp is None:
+                return None
+        srq_source = rqp.srq if rqp.srq is not None else rqp._own_rq
+        if srq_source is not table.srq_source:
+            try:
+                srq_source._fp_claims
+            except AttributeError:
+                srq_source._fp_claims = 0
+            table.srq_source = srq_source
+            store = getattr(srq_source, "_store", srq_source)
+            table.srq_items = store.items
+        srq_items = table.srq_items
+        if len(srq_source) <= srq_source._fp_claims:
+            return None
+
+    # ---- timeline (floats accumulated in the slow path's add order) ----
+    dur_l, dur_r, ser, wire_n = table.size_costs(nbytes)
+    t0 = sim.now
+    t1 = t0 + table.doorbell            # doorbell MMIO
+    if opcode is Opcode.READ:
+        t2 = t1 + table.wqe_l           # request WQE carries no payload
+        t3 = t2 + table.ser0
+    else:
+        t2 = t1 + dur_l                 # local lookups + payload DMA
+        t3 = t2 + ser                   # serialization out
+    t4 = t3 + table.prop                # propagation + switch
+    t5 = t4 + dur_r                     # remote lookups + DMA + memory op
+    signaled = wr.signaled
+    if opcode is Opcode.WRITE:
+        a1 = t5 + table.ack_ser
+        t7 = (a1 + table.prop) + table.rnic_ack
+        t_end = t7 + table.completion_l if signaled else t7
+    elif opcode is Opcode.WRITE_IMM:
+        t_rc = t5 + table.completion_r  # responder CQE write-back
+        a1 = t_rc + table.ack_ser
+        t7 = (a1 + table.prop) + table.rnic_ack
+        t_end = t7 + table.completion_l if signaled else t7
+    else:  # READ
+        r1 = t5 + ser                   # response serialization
+        t6 = r1 + table.prop
+        t7 = t6 + dur_l                 # local scatter pass
+        t_end = t7 + table.completion_l if signaled else t7
+
+    # Nothing ordinary may be scheduled at or before completion: any
+    # such event could observe (or perturb) the op mid-flight.
+    if sim.fp_horizon() <= t_end:
+        return None
+
+    # ---- commit ------------------------------------------------------
+    fp_stats.commits += 1
+    qp.posted_sends += 1
+    done = sim.event()
+    qp._last_remote_done = done
+    wr._order_done = done
+
+    # Cache-hit replay, in slow-path lookup order (LRU recency + stats).
+    lrnic.qp_cache.access(qp.qpn)
+    rrnic.qp_cache.access(dst_qpn)
+    rrnic.key_cache.access(rkey)
+    if pages:
+        rrnic.pte_cache.access_many(pages)
+    if opcode is Opcode.READ:
+        lrnic.qp_cache.access(qp.qpn)   # response scatter pass
+
+    # Counter replay (end-state equivalent; see module docstring).
+    if opcode is Opcode.READ:
+        lrnic.wqe_count += 2
+        lrnic.bytes_dma += nbytes
+        rrnic.wqe_count += 1
+        rrnic.bytes_dma += nbytes
+        out_bytes = _WIRE0
+        back_bytes = wire_n
+    else:
+        lrnic.wqe_count += 1
+        lrnic.bytes_dma += nbytes
+        rrnic.wqe_count += 1
+        rrnic.bytes_dma += nbytes
+        out_bytes = wire_n
+        back_bytes = ACK_BYTES
+    fabric.total_bytes += out_bytes + back_bytes
+    fabric.transfer_count += 2
+    src_port.tx_bytes += out_bytes
+    dst_port.rx_bytes += out_bytes
+    dst_port.tx_bytes += back_bytes
+    src_port.rx_bytes += back_bytes
+
+    # Real holds for the op's first phase (released at exact times by
+    # the dispatches below; the return-leg channels are acquired at the
+    # instant the slow path would request them).
+    sq.in_use += 1
+    if window is not None:
+        window.in_use += 1
+    lpipe.in_use += 1
+    rpipe.in_use += 1
+    src_tx.in_use += 1
+    dst_rx.in_use += 1
+    if srq_source is not None:
+        srq_source._fp_claims += 1
+
+    handle = sim.event() if make_handle else None
+    # fp_schedule inlined (this is the hottest dispatch source): the pad
+    # is applied first, then each push takes the next seq, exactly as a
+    # sim._seq bump followed by fp_schedule calls in program order.
+    seq = sim._seq + _CORE_PAD[opcode] + (1 if signaled else 0) + extra_pad
+    fpq = sim._fpq
+
+    def at_t2():
+        lpipe.release()
+
+    def at_t3():
+        dst_rx.release()
+        src_tx.release()
+
+    seq += 1
+    heappush(fpq, (t2, seq, at_t2))
+    seq += 1
+    heappush(fpq, (t3, seq, at_t3))
+
+    def at_end():
+        send_cq = qp.send_cq
+        if signaled and send_cq is not None:
+            send_cq.push(WorkCompletion(
+                wr_id=wr.wr_id, status=WcStatus.SUCCESS, opcode=opcode,
+                byte_len=nbytes, imm=wr.imm, qp_num=qp.qpn,
+            ))
+        sq.release()
+        if window is not None:
+            window.release()
+        if handle is not None:
+            handle.succeed(WcStatus.SUCCESS)
+
+    if opcode is Opcode.WRITE:
+
+        def at_mid():
+            rpipe.release()
+            try:
+                backing.write(reg_off, payload)
+            except ValueError:
+                fp_stats.mismodels += 1
+            done.succeed()
+            if dst_tx.in_use >= dst_tx.capacity:
+                fp_stats.mismodels += 1
+            if src_rx.in_use >= src_rx.capacity:
+                fp_stats.mismodels += 1
+            dst_tx.in_use += 1
+            src_rx.in_use += 1
+
+        def at_ackrel():
+            src_rx.release()
+            dst_tx.release()
+
+        seq += 1
+        heappush(fpq, (t5, seq, at_mid))
+        seq += 1
+        heappush(fpq, (a1, seq, at_ackrel))
+        seq += 1
+        heappush(fpq, (t_end, seq, at_end))
+
+    elif opcode is Opcode.WRITE_IMM:
+        box = []
+        src_node = table.src_node
+        imm = wr.imm
+
+        def at_mid():
+            rpipe.release()
+            try:
+                backing.write(reg_off, payload)
+            except ValueError:
+                fp_stats.mismodels += 1
+            if srq_items:
+                box.append(srq_items.popleft())
+            else:
+                fp_stats.mismodels += 1
+            srq_source._fp_claims -= 1
+
+        def at_rc():
+            if box:
+                recv_cq = rqp.recv_cq
+                if recv_cq is not None:
+                    recv_cq.push(WorkCompletion(
+                        wr_id=box[0].wr_id, status=WcStatus.SUCCESS,
+                        opcode=Opcode.RECV_IMM, byte_len=nbytes, imm=imm,
+                        qp_num=dst_qpn, src_node=src_node, src_qpn=qp.qpn,
+                    ))
+            done.succeed()
+            if dst_tx.in_use >= dst_tx.capacity:
+                fp_stats.mismodels += 1
+            if src_rx.in_use >= src_rx.capacity:
+                fp_stats.mismodels += 1
+            dst_tx.in_use += 1
+            src_rx.in_use += 1
+
+        def at_ackrel():
+            src_rx.release()
+            dst_tx.release()
+
+        seq += 1
+        heappush(fpq, (t5, seq, at_mid))
+        seq += 1
+        heappush(fpq, (t_rc, seq, at_rc))
+        seq += 1
+        heappush(fpq, (a1, seq, at_ackrel))
+        seq += 1
+        heappush(fpq, (t_end, seq, at_end))
+
+    else:  # READ
+        box = []
+
+        def at_mid():
+            rpipe.release()
+            try:
+                box.append(backing.read(reg_off, nbytes))
+            except ValueError:
+                box.append(b"")
+                fp_stats.mismodels += 1
+            done.succeed()
+            if dst_tx.in_use >= dst_tx.capacity:
+                fp_stats.mismodels += 1
+            if src_rx.in_use >= src_rx.capacity:
+                fp_stats.mismodels += 1
+            dst_tx.in_use += 1
+            src_rx.in_use += 1
+
+        def at_resprel():
+            src_rx.release()
+            dst_tx.release()
+
+        def at_t6():
+            if lpipe.in_use >= lpipe.capacity:
+                fp_stats.mismodels += 1
+            lpipe.in_use += 1
+
+        def at_t7():
+            lpipe.release()
+            wr.return_data = box[0] if box else b""
+
+        seq += 1
+        heappush(fpq, (t5, seq, at_mid))
+        seq += 1
+        heappush(fpq, (r1, seq, at_resprel))
+        seq += 1
+        heappush(fpq, (t6, seq, at_t6))
+        seq += 1
+        heappush(fpq, (t7, seq, at_t7))
+        seq += 1
+        heappush(fpq, (t_end, seq, at_end))
+
+    sim._seq = seq
+    return handle if make_handle else True

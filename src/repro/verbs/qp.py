@@ -91,6 +91,9 @@ class QueuePair:
         # unordered by spec.
         self._last_remote_done = None
         self.remote: Optional[Tuple[int, int]] = None  # (node_id, qpn)
+        # Lazily built per-(QP, op, size-class) cost table for the
+        # run-to-completion fast path (see verbs/fastpath.py).
+        self._fp_table = None
         self.posted_sends = 0
         self.posted_recvs = 0
         self.rnr_stalls = 0

@@ -1,0 +1,250 @@
+"""Run-to-completion fast path: equivalence and cost-table invalidation.
+
+The contract under test (docs/INTERNALS.md §13): with the fast path on,
+every observable — final simulated time, the event sequence counter,
+and the whole-cluster :class:`~repro.stats.Snapshot` — is *bit-identical*
+to a run with ``REPRO_NO_FASTPATH=1``.  The property test drives
+randomized mixed workloads (one-sided ops of many sizes, RPCs, and a
+seeded fault plan) through both modes and compares at quiescence.
+
+Comparison happens only after ``sim.run()`` drains every in-flight op:
+the fast path accounts counters at commit time while the generator path
+accounts them as events arrive, so mid-flight snapshots may legally
+differ — end states may not.
+"""
+
+import dataclasses
+import os
+import random
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.determinism import reset_global_counters
+from repro.core import (
+    LiteContext,
+    LiteError,
+    RpcTimeoutError,
+    lite_boot,
+    rpc_server_loop,
+)
+from repro.fault import FaultInjector, FaultPlan
+from repro.hw.params import MB, SimParams
+from repro.stats import snapshot
+from repro.verbs import Access
+from repro.verbs.fastpath import CostTable, fp_stats, prime_qp, try_fast_post
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+def _with_fastpath(enabled):
+    """Context-manager-free env toggle (Simulator reads it at __init__)."""
+    if enabled:
+        os.environ.pop("REPRO_NO_FASTPATH", None)
+    else:
+        os.environ["REPRO_NO_FASTPATH"] = "1"
+
+
+def _run_workload(seed: int, fastpath: bool, faults: bool):
+    """One randomized mixed workload; returns the end-state observables."""
+    saved = os.environ.get("REPRO_NO_FASTPATH")
+    _with_fastpath(fastpath)
+    # Process-global id counters feed token digit counts into control-
+    # message sizes (see repro.determinism); rewind them so the fast and
+    # slow runs see byte-identical wire traffic.
+    reset_global_counters()
+    try:
+        cluster = Cluster(3)
+        kernels = lite_boot(cluster)
+        if faults:
+            plan = FaultPlan.random(
+                seed, [node.node_id for node in cluster.nodes], 40000.0,
+                crashes=0, flaps=1, loss_rate=0.02,
+            )
+            FaultInjector(cluster, plan).install()
+        ctx = LiteContext(kernels[0], "prop", kernel_level=True)
+        server = LiteContext(kernels[2], "srv")
+        cluster.sim.process(rpc_server_loop(server, 1, lambda data: data))
+
+        holder = {}
+
+        def setup():
+            holder["lh"] = yield from ctx.lt_malloc(1 * MB, nodes=2)
+
+        cluster.run_process(setup())
+        lh = holder["lh"]
+        rng = random.Random(seed)
+        errors = []
+
+        def driver():
+            yield cluster.sim.timeout(5)
+            for index in range(80):
+                kind = rng.randrange(4)
+                size = rng.choice((8, 64, 512, 4096, 32768))
+                offset = rng.randrange(0, 64) * 1024
+                try:
+                    if kind == 0:
+                        yield from ctx.lt_write(
+                            lh, offset, bytes([index & 0xFF]) * size
+                        )
+                    elif kind == 1:
+                        yield from ctx.lt_read(lh, offset, size)
+                    elif kind == 2:
+                        reply = yield from ctx.lt_rpc(
+                            3, 1, b"q" * min(size, 1024), max_reply=2048
+                        )
+                        errors.append(len(reply))
+                    else:
+                        kernels[0].onesided.raw_write_async(
+                            kernels[1].lite_id,
+                            holder_addr + offset,
+                            b"a" * min(size, 256),
+                        )
+                except (LiteError, RpcTimeoutError) as exc:
+                    errors.append(type(exc).__name__)
+
+        sink = kernels[1].node.memory.alloc(256 * 1024)
+        holder_addr = sink.addr
+        cluster.run_process(driver())
+        cluster.sim.run()  # drain in-flight tails before comparing
+        snap = dataclasses.asdict(snapshot(cluster))
+        return cluster.sim.now, cluster.sim._seq, snap, errors
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+
+
+# ---------------------------------------------------------------------------
+# Equivalence property: fast on == fast off, bit for bit
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [7, 23, 91])
+@pytest.mark.parametrize("faults", [False, True])
+def test_fastpath_equivalence_randomized(seed, faults):
+    fast = _run_workload(seed, fastpath=True, faults=faults)
+    slow = _run_workload(seed, fastpath=False, faults=faults)
+    assert fast[0] == slow[0], "final sim time diverged"
+    assert fast[1] == slow[1], "event sequence counter diverged"
+    assert fast[2] == slow[2], "cluster snapshot diverged"
+    assert fast[3] == slow[3], "op outcomes diverged"
+
+
+def test_kill_switch_disables_commits():
+    saved = os.environ.get("REPRO_NO_FASTPATH")
+    os.environ["REPRO_NO_FASTPATH"] = "1"
+    try:
+        cluster = Cluster(2)
+        kernels = lite_boot(cluster)
+        assert cluster.sim.fastpath_enabled is False
+        before = fp_stats.commits
+        ctx = LiteContext(kernels[0], "ks", kernel_level=True)
+        holder = {}
+
+        def setup():
+            holder["lh"] = yield from ctx.lt_malloc(64 * 1024, nodes=2)
+
+        cluster.run_process(setup())
+
+        def driver():
+            yield from ctx.lt_write(holder["lh"], 0, b"x" * 64)
+
+        cluster.run_process(driver())
+        assert fp_stats.commits == before
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+
+
+# ---------------------------------------------------------------------------
+# Cost-table keying and invalidation
+# ---------------------------------------------------------------------------
+def _connected_qp(kernels):
+    """A shared QP from kernel 0 toward kernel 1 (primed at connect)."""
+    peer = kernels[0].peers[kernels[1].lite_id]
+    return peer.qps[0]
+
+
+def test_cost_table_built_at_connect_and_stable():
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    qp = _connected_qp(kernels)
+    table = qp._fp_table
+    assert isinstance(table, CostTable), "connect() should prime the table"
+    assert table.valid()
+    builds = fp_stats.table_builds
+    prime_qp(qp)  # re-prime: still valid, no rebuild
+    assert qp._fp_table is table
+    assert fp_stats.table_builds == builds
+
+
+def test_cost_table_invalidated_by_mr_dereg():
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    qp = _connected_qp(kernels)
+    table = qp._fp_table
+    assert table is not None and table.valid()
+
+    # Deregister a virtual MR on the *remote* device: its RNIC's
+    # cost_version bumps, so the table (which folds that RNIC's cache
+    # objects and MR memo) must die.
+    rdev = kernels[1].device
+    holder = {}
+
+    def reg():
+        holder["mr"] = yield from rdev.reg_mr(
+            kernels[1].pd, 64 * 1024, Access.ALL
+        )
+
+    cluster.run_process(reg())
+    assert table.valid(), "registration alone must not invalidate"
+
+    def dereg():
+        yield from rdev.dereg_mr(holder["mr"])
+
+    cluster.run_process(dereg())
+    assert not table.valid()
+    rebuilt = type(table)(qp)  # a fresh build sees the new stamp
+    assert rebuilt.valid()
+
+
+def test_cost_table_invalidated_by_param_mutation():
+    # Fresh SimParams: the default is a process-wide singleton, and the
+    # doubled knob below must not leak into later tests' clusters.
+    cluster = Cluster(2, params=SimParams())
+    kernels = lite_boot(cluster)
+    qp = _connected_qp(kernels)
+    table = qp._fp_table
+    assert table is not None and table.valid()
+    kernels[1].params.rnic_wqe_process_us *= 2.0
+    assert not table.valid(), "remote SimParams mutation must invalidate"
+
+
+def test_cost_table_invalidated_by_cache_resize():
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    qp = _connected_qp(kernels)
+    table = qp._fp_table
+    assert table is not None and table.valid()
+    kernels[0].device.rnic.resize_caches(key_entries=32)
+    assert not table.valid(), "local cache resize must invalidate"
+
+
+def test_fast_post_rejects_tracer_and_disabled():
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    qp = _connected_qp(kernels)
+    # Tracer installed → fast path must refuse (trace goldens depend on
+    # the generator path's span tree).
+    cluster.sim.tracer = object.__new__(type("T", (), {}))
+    try:
+        from repro.verbs.wr import Opcode, SendWR
+
+        wr = SendWR(opcode=Opcode.WRITE, inline_data=b"x" * 16,
+                    remote_addr=0, rkey=0)
+        assert try_fast_post(qp, wr) is None
+    finally:
+        cluster.sim.tracer = None

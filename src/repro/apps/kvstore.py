@@ -22,6 +22,7 @@ import struct
 from typing import Dict, List, Optional, Tuple
 
 from ..core import LiteContext, Permission, rpc_server_loop
+from ..core.errors import ENODEV, LiteError
 
 __all__ = ["LiteKVServer", "LiteKVClient", "kv_shard_of"]
 
@@ -46,11 +47,21 @@ class LiteKVServer:
     """One shard: a value-log LMR plus an in-memory index."""
 
     def __init__(self, kernel, shard_index: int, log_bytes: int = 4 << 20,
-                 store_name: str = "kv"):
+                 store_name: str = "kv", replicas: int = 0, log_nodes=None):
         self.ctx = LiteContext(kernel, f"kv-server{shard_index}")
         self.shard_index = shard_index
         self.log_bytes = log_bytes
         self.store_name = store_name
+        # Value-log durability: backup copies of the log LMR.  With the
+        # recovery layer armed, a crashed shard server's log fails over
+        # to a backup node and cached one-sided GETs keep validating
+        # (the backup is byte-identical, offsets and versions included).
+        self.replicas = replicas
+        # Where the value log lives (lt_malloc ``nodes=``; None = the
+        # server's own node).  Disaggregated placement lets the server
+        # outlive its log — the degraded read-only mode below is only
+        # reachable when the log can die while the server survives.
+        self.log_nodes = log_nodes
         self.log_lh = None
         self._tail = 0
         # key -> (offset, record_len, version)
@@ -60,6 +71,9 @@ class LiteKVServer:
         self._key_busy: Dict[bytes, list] = {}
         self.puts = 0
         self.lookups = 0
+        # Graceful degradation: flips when the value log fails with
+        # ENODEV (last replica gone).  PUTs are refused, GETs continue.
+        self.read_only = False
 
     @property
     def lite_id(self) -> int:
@@ -71,7 +85,9 @@ class LiteKVServer:
         self.log_lh = yield from self.ctx.lt_malloc(
             self.log_bytes,
             name=f"{self.store_name}:log:{self.shard_index}",
+            nodes=self.log_nodes,
             default_perm=_OPEN,
+            replicas=self.replicas,
         )
         for _ in range(n_server_threads):
             self.ctx.sim.process(
@@ -83,7 +99,23 @@ class LiteKVServer:
         command = json.loads(request[: request.index(b"\x00")].decode())
         payload = request[request.index(b"\x00") + 1:]
         if command["op"] == "put":
-            reply = yield from self._do_put(command["key"].encode(), payload)
+            if self.read_only:
+                reply = {"err": "shard is read-only (log lost its last "
+                                "replica)", "errno": ENODEV}
+            else:
+                try:
+                    reply = yield from self._do_put(
+                        command["key"].encode(), payload
+                    )
+                except LiteError as exc:
+                    if exc.errno == ENODEV:
+                        # The value log lost its last replica: degrade
+                        # to read-only instead of wedging — GETs keep
+                        # serving whatever the index still points at.
+                        self.read_only = True
+                        reply = {"err": str(exc), "errno": ENODEV}
+                    else:
+                        raise
         elif command["op"] == "lookup":
             reply = self._do_lookup(command["key"].encode())
         elif command["op"] == "delete":
@@ -169,6 +201,9 @@ class LiteKVClient:
         self.onesided_gets = 0
         self.rpc_lookups = 0
         self.validation_retries = 0
+        # Shards whose server reported ENODEV: PUTs fail fast locally
+        # instead of burning an RPC round trip per attempt.
+        self.read_only_shards: set = set()
 
     def _shard(self, key: bytes) -> LiteKVServer:
         return self.servers[kv_shard_of(key, len(self.servers))]
@@ -191,16 +226,32 @@ class LiteKVClient:
         )
         decoded = json.loads(reply.decode())
         if "err" in decoded:
+            if "errno" in decoded:
+                raise LiteError(decoded["err"], errno=decoded["errno"])
             raise RuntimeError(decoded["err"])
         return decoded
 
     # -- public API -------------------------------------------------------
     def put(self, key: bytes, value: bytes):
-        """Store (generator).  Updates the local location cache."""
+        """Store (generator).  Updates the local location cache.
+
+        Raises ``LiteError(ENODEV)`` without touching the wire once the
+        key's shard is known read-only (its value log lost its last
+        replica); transient failures surface as retryable ETIMEDOUT.
+        """
         server = self._shard(key)
-        reply = yield from self._rpc(
-            server, {"op": "put", "key": key.decode()}, payload=value
-        )
+        if server.shard_index in self.read_only_shards:
+            raise LiteError(
+                f"kv shard {server.shard_index} is read-only", errno=ENODEV
+            )
+        try:
+            reply = yield from self._rpc(
+                server, {"op": "put", "key": key.decode()}, payload=value
+            )
+        except LiteError as exc:
+            if exc.errno == ENODEV:
+                self.read_only_shards.add(server.shard_index)
+            raise
         self._location_cache[key] = (
             server.shard_index, reply["offset"], reply["len"], reply["version"]
         )

@@ -24,6 +24,19 @@ class ClusterManager:
         # Global LMR name directory: name -> master's LITE id.  All of
         # this state is reconstructible metadata (§3.3).
         self.names: Dict[str, int] = {}
+        # Replicated-LMR directory: lmr_id -> entry describing the
+        # primary chunk placement, the live backup copies, copies lost
+        # to crashes (kept so a rejoining node can resync in place), a
+        # write-ordering version counter, and the failed flag set when
+        # the last replica dies.  Chunk lists are stored in wire form
+        # (``ChunkInfo.to_wire``) so the whole entry is JSON-clean and
+        # round-trips through :meth:`snapshot`/:meth:`restore`.
+        self.replicas: Dict[int, dict] = {}
+        # Lease table: LITE id -> absolute expiry in simulated us.
+        # Populated only when a RecoveryManager is armed; empty tables
+        # snapshot/restore as empty dicts, so unarmed runs are
+        # byte-identical to pre-recovery builds.
+        self.leases: Dict[int, float] = {}
 
     def join(self, node: Node) -> int:
         """Register a node; returns its LITE node id (stable, 1-based)."""
@@ -62,15 +75,81 @@ class ClusterManager:
         """Remove a name from the directory (idempotent)."""
         self.names.pop(name, None)
 
+    # -- replicated-LMR directory --------------------------------------
+    def register_replicated(self, lmr_id: int, name, size: int, master: int,
+                            primary: list, backups: Dict[int, list],
+                            creator: str, default_perm: int = 0) -> None:
+        """Record a ``replicas=k`` LMR's placement (chunks in wire form)."""
+        self.replicas[lmr_id] = {
+            "name": name,
+            "size": size,
+            "master": master,
+            "primary": primary,
+            "backups": backups,
+            "lost": {},
+            "version": 0,
+            "failed": False,
+            "creator": creator,
+            "dperm": default_perm,
+        }
+
+    def bump_version(self, lmr_id: int) -> None:
+        """Advance the write-ordering counter after an acked write."""
+        entry = self.replicas.get(lmr_id)
+        if entry is not None:
+            entry["version"] += 1
+
+    def mark_replica_stale(self, lmr_id: int, backup_id: int) -> None:
+        """Demote a backup whose fan-out write failed: it can no longer
+        be promoted, but its chunks are kept under ``lost`` so a
+        rejoining node can resync in place."""
+        entry = self.replicas.get(lmr_id)
+        if entry is None:
+            return
+        chunks = entry["backups"].pop(backup_id, None)
+        if chunks is not None:
+            entry["lost"][backup_id] = chunks
+
+    def drop_replicated(self, lmr_id: int) -> None:
+        """Forget a replicated LMR (idempotent; used by lt_free)."""
+        self.replicas.pop(lmr_id, None)
+
+    # -- lease table ----------------------------------------------------
+    def grant_lease(self, lite_id: int, expires_at_us: float) -> None:
+        """Grant or renew a membership lease (absolute expiry)."""
+        self.leases[lite_id] = expires_at_us
+
+    def lease_valid(self, lite_id: int, now_us: float) -> bool:
+        """True when ``lite_id`` holds an unexpired lease."""
+        return self.leases.get(lite_id, float("-inf")) > now_us
+
     # -- failure restart (§3.3: "all the states it maintains can be
     # easily reconstructed upon failure restart") -----------------------
     def snapshot(self) -> dict:
-        """Serializable manager state (membership + name directory)."""
+        """Serializable manager state (membership, names, replicas, leases)."""
         return {
             "members": {lite_id: node.node_id
                         for lite_id, node in self.members.items()},
             "next_id": self._next_lite_id,
             "names": dict(self.names),
+            "replicas": {
+                lmr_id: {
+                    "name": entry["name"],
+                    "size": entry["size"],
+                    "master": entry["master"],
+                    "primary": [list(c) for c in entry["primary"]],
+                    "backups": {b: [list(c) for c in chunks]
+                                for b, chunks in entry["backups"].items()},
+                    "lost": {b: [list(c) for c in chunks]
+                             for b, chunks in entry["lost"].items()},
+                    "version": entry["version"],
+                    "failed": entry["failed"],
+                    "creator": entry["creator"],
+                    "dperm": entry.get("dperm", 0),
+                }
+                for lmr_id, entry in self.replicas.items()
+            },
+            "leases": dict(self.leases),
         }
 
     @classmethod
@@ -87,6 +166,25 @@ class ClusterManager:
             manager.members[int(lite_id)] = by_node_id[node_id]
         manager._next_lite_id = snapshot["next_id"]
         manager.names = dict(snapshot["names"])
+        # Replica/lease state survives a manager restart too.  A JSON
+        # round trip stringifies the int dict keys, so coerce them back.
+        for lmr_id, entry in snapshot.get("replicas", {}).items():
+            manager.replicas[int(lmr_id)] = {
+                "name": entry["name"],
+                "size": entry["size"],
+                "master": entry["master"],
+                "primary": [list(c) for c in entry["primary"]],
+                "backups": {int(b): [list(c) for c in chunks]
+                            for b, chunks in entry["backups"].items()},
+                "lost": {int(b): [list(c) for c in chunks]
+                         for b, chunks in entry["lost"].items()},
+                "version": entry["version"],
+                "failed": entry["failed"],
+                "creator": entry["creator"],
+                "dperm": entry.get("dperm", 0),
+            }
+        for lite_id, expiry in snapshot.get("leases", {}).items():
+            manager.leases[int(lite_id)] = expiry
         return manager
 
     def __len__(self) -> int:

@@ -124,12 +124,18 @@ class LiteContext:
         name: Optional[str] = None,
         nodes: Optional[Union[int, Sequence[int]]] = None,
         default_perm: Permission = Permission.NONE,
+        replicas: int = 0,
     ):
         """Allocate an LMR (generator; returns a master lh).
 
         ``nodes`` selects where the memory lives: one LITE id, a list
         (the LMR is spread evenly across them, §4.1), or None for the
         local node.  Only a master may later move/free it.
+
+        ``replicas=k`` keeps ``k`` full backup copies on nodes outside
+        the primary placement: every acked ``lt_write`` has reached all
+        live backups, so a crash of the primary loses no committed data
+        (docs/INTERNALS.md §14).  Reads are served by the primary only.
         """
         if size <= 0:
             raise ValueError(f"LMR size must be positive, got {size}")
@@ -142,6 +148,16 @@ class LiteContext:
             node_list = list(nodes)
         if not node_list:
             raise ValueError("lt_malloc needs at least one target node")
+        backup_ids: List[int] = []
+        if replicas:
+            candidates = [lite_id for lite_id in sorted(kernel.manager.members)
+                          if lite_id not in node_list]
+            if len(candidates) < replicas:
+                raise LiteError(
+                    f"replicas={replicas} needs {replicas} node(s) outside the "
+                    f"primary placement; only {len(candidates)} available"
+                )
+            backup_ids = candidates[:replicas]
         yield from self._enter()
         yield from self._metadata()
         shares = self._split_evenly(size, len(node_list))
@@ -158,14 +174,38 @@ class LiteContext:
                     target, {"type": MsgType.ALLOC, "size": share}
                 )
                 chunks.extend(ChunkInfo.from_wire(w) for w in reply["chunks"])
+        replica_chunks = {}
+        for backup in backup_ids:
+            if backup == kernel.lite_id:
+                yield from kernel.node.cpu.execute(
+                    kernel._alloc_cost(size), tag="lite-mgmt"
+                )
+                replica_chunks[backup] = (yield from kernel.alloc_chunks(size))
+            else:
+                reply = yield from kernel.ctrl_request(
+                    backup, {"type": MsgType.ALLOC, "size": size}
+                )
+                replica_chunks[backup] = [
+                    ChunkInfo.from_wire(w) for w in reply["chunks"]
+                ]
         lmr_name = name if name is not None else f"__anon:{next(_anon_counter)}"
         record = MasterRecord(lmr_name, size, chunks, creator=self.principal,
                               default_perm=default_perm)
+        record.replicas = replica_chunks
         kernel.registry[lmr_name] = record
         kernel._records_by_id[record.lmr_id] = record
         if name is not None:
             kernel.manager.register_name(name, kernel.lite_id)
-        mapping = MappedLmr(record.lmr_id, lmr_name, size, chunks, kernel.lite_id)
+        if replica_chunks:
+            kernel.manager.register_replicated(
+                record.lmr_id, lmr_name, size, kernel.lite_id,
+                [c.to_wire() for c in chunks],
+                {b: [c.to_wire() for c in bchunks]
+                 for b, bchunks in replica_chunks.items()},
+                self.principal, default_perm=default_perm.value,
+            )
+        mapping = MappedLmr(record.lmr_id, lmr_name, size, chunks, kernel.lite_id,
+                            replica_chunks=dict(replica_chunks))
         kernel.mappings_by_lmr.setdefault(record.lmr_id, []).append(mapping)
         handle = LmrHandle(self, mapping, Permission.full())
         yield from self._exit()
@@ -202,10 +242,15 @@ class LiteContext:
                 )
         for local_map in kernel.mappings_by_lmr.pop(record.lmr_id, []):
             local_map.valid = False
-        # Release the physical chunks, grouped per owner node.
+        kernel.manager.drop_replicated(record.lmr_id)
+        # Release the physical chunks, grouped per owner node (backup
+        # copies are freed alongside the primary).
         by_node = {}
         for chunk in record.chunks:
             by_node.setdefault(chunk.node_id, []).append(chunk)
+        for backup_chunks in record.replicas.values():
+            for chunk in backup_chunks:
+                by_node.setdefault(chunk.node_id, []).append(chunk)
         for node_id, node_chunks in by_node.items():
             if node_id == kernel.lite_id:
                 for chunk in node_chunks:
@@ -237,7 +282,9 @@ class LiteContext:
                 raise LiteError(f"permission denied for {self.principal!r}")
             record.mapped_by.add(kernel.lite_id)
             mapping = MappedLmr(
-                record.lmr_id, name, record.size, record.chunks, master_id
+                record.lmr_id, name, record.size, record.chunks, master_id,
+                replica_chunks={b: list(bchunks)
+                                for b, bchunks in record.replicas.items()},
             )
         else:
             reply = yield from kernel.ctrl_request(
@@ -251,6 +298,10 @@ class LiteContext:
                 reply["size"],
                 [ChunkInfo.from_wire(w) for w in reply["chunks"]],
                 master_id,
+                replica_chunks={
+                    int(b): [ChunkInfo.from_wire(w) for w in bchunks]
+                    for b, bchunks in reply.get("replicas", {}).items()
+                },
             )
         kernel.mappings_by_lmr.setdefault(mapping.lmr_id, []).append(mapping)
         handle = LmrHandle(self, mapping, perm)

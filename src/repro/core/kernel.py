@@ -582,15 +582,20 @@ class LiteKernel:
             )
             return
         record.mapped_by.add(msg["src"])
-        self._ctrl_reply(
-            msg,
-            {
-                "lmr_id": record.lmr_id,
-                "size": record.size,
-                "chunks": [c.to_wire() for c in record.chunks],
-                "perm": wanted.value,
-            },
-        )
+        reply = {
+            "lmr_id": record.lmr_id,
+            "size": record.size,
+            "chunks": [c.to_wire() for c in record.chunks],
+            "perm": wanted.value,
+        }
+        # Only replicated LMRs carry the extra field: the wire bytes of
+        # every pre-existing (unreplicated) MAP reply are unchanged.
+        if record.replicas:
+            reply["replicas"] = {
+                backup: [c.to_wire() for c in bchunks]
+                for backup, bchunks in record.replicas.items()
+            }
+        self._ctrl_reply(msg, reply)
 
     def _serve_unmap_notify(self, msg: dict):
         record = self._records_by_id.get(msg["lmr_id"])
@@ -609,12 +614,29 @@ class LiteKernel:
         """The master moved an LMR: retarget every local mapping (§4.1).
 
         Existing lhs keep working transparently — their next operation
-        simply lands at the new location.
+        simply lands at the new location.  The recovery layer reuses
+        this message with optional extras: ``master`` (post-promotion
+        re-homing), ``replicas`` (the surviving/resynced backup set)
+        and ``failed`` (last replica died — degrade to ENODEV).
         """
         yield self.sim.timeout(self.params.lite_metadata_us)
         new_chunks = [ChunkInfo.from_wire(w) for w in msg["chunks"]]
+        new_master = msg.get("master")
+        new_replicas = None
+        if "replicas" in msg:
+            new_replicas = {
+                int(backup): [ChunkInfo.from_wire(w) for w in bchunks]
+                for backup, bchunks in msg["replicas"].items()
+            }
         for mapping in self.mappings_by_lmr.get(msg["lmr_id"], []):
             mapping.chunks = new_chunks
+            if new_master is not None:
+                mapping.master_id = new_master
+            if new_replicas is not None:
+                mapping.replica_chunks = {b: list(c)
+                                          for b, c in new_replicas.items()}
+            if "failed" in msg:
+                mapping.failed = bool(msg["failed"])
         self._ctrl_reply(msg, {"ok": True})
 
     def _serve_grant(self, msg: dict):

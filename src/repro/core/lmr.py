@@ -85,6 +85,15 @@ class MasterRecord:
         self.default_perm = default_perm
         self.mapped_by: Set[int] = set()
         self.freed = False
+        # Replica set for ``lt_malloc(..., replicas=k)``: backup LITE id
+        # -> full-size chunk list mirroring ``chunks``.  Writes fan out
+        # to every backup; on primary failure the recovery layer promotes
+        # one of them and retargets ``chunks`` in place.
+        self.replicas: Dict[int, List[ChunkInfo]] = {}
+        # Monotonic write-ordering counter, bumped once per acked
+        # replicated write (resync uses it to detect copies made stale
+        # by writes that raced the copy-back).
+        self.version = 0
 
     def check(self, principal: str, wanted: Permission) -> bool:
         """True when ``principal`` holds every bit of ``wanted``."""
@@ -106,6 +115,7 @@ class MappedLmr:
         size: int,
         chunks: List[ChunkInfo],
         master_id: int,
+        replica_chunks: Optional[Dict[int, List[ChunkInfo]]] = None,
     ):
         self.lmr_id = lmr_id
         self.name = name
@@ -114,6 +124,13 @@ class MappedLmr:
         self.master_id = master_id
         # Cleared when the master frees or moves the LMR (FREE_NOTIFY).
         self.valid = True
+        # Backup LITE id -> chunk list; writes through this mapping fan
+        # out to every live backup (empty for unreplicated LMRs, in
+        # which case the write path is byte-for-byte unchanged).
+        self.replica_chunks: Dict[int, List[ChunkInfo]] = replica_chunks or {}
+        # Set when the last replica died: reads/writes fail fast with
+        # ENODEV instead of timing out against a dead primary.
+        self.failed = False
 
     def plan(self, offset: int, nbytes: int) -> List[Tuple[ChunkInfo, int, int, int]]:
         """Split [offset, offset+nbytes) into per-chunk pieces.

@@ -18,7 +18,7 @@ from typing import List
 
 from ..verbs import Opcode, SendWR, WcStatus
 from ..verbs.fastpath import try_fast_post
-from .errors import EIO, ETIMEDOUT, LiteError
+from .errors import EIO, ENODEV, ETIMEDOUT, LiteError
 from .lmr import MappedLmr
 
 __all__ = ["OneSidedEngine", "RdmaOpError"]
@@ -196,10 +196,81 @@ class OneSidedEngine:
             if status is not WcStatus.SUCCESS:
                 raise RdmaOpError(f"LITE {what} failed: {status.value}")
 
+    @staticmethod
+    def _check_not_failed(mapping: MappedLmr) -> None:
+        """Fail fast once the last replica of an LMR is gone (§14)."""
+        if mapping.failed:
+            raise RdmaOpError(
+                f"LMR {mapping.lmr_id} lost its last replica", errno=ENODEV
+            )
+
+    def _backup_write(self, mapping: MappedLmr, backup_id: int,
+                      offset: int, data: bytes, priority: int):
+        """Fan one write out to a single backup copy (generator).
+
+        Backup failures never fail the caller's write: the backup is
+        marked stale in the manager's replica directory (it drops out
+        of the promotable set until a resync) and the op completes on
+        the surviving copies.  Always returns ``WcStatus.SUCCESS`` so
+        it can ride in the same ``all_of`` as the primary pieces.
+        """
+        kernel = self.kernel
+        bchunks = mapping.replica_chunks.get(backup_id)
+        if not bchunks:
+            return WcStatus.SUCCESS
+        bmap = MappedLmr(0, "", mapping.size, bchunks, 0)
+        try:
+            view = memoryview(data)
+            procs = []
+            for chunk, chunk_off, piece_len, buf_off in bmap.plan(
+                offset, len(data)
+            ):
+                piece = view[buf_off : buf_off + piece_len]
+                if chunk.node_id == kernel.lite_id:
+                    yield from kernel.node.cpu.execute(
+                        piece_len / self.params.memcpy_bytes_per_us,
+                        tag="lite-local",
+                    )
+                    kernel._local_chunk_write(chunk, chunk_off, piece)
+                    continue
+                peer = kernel.peer(chunk.node_id)
+                if chunk.rkey is not None:
+                    remote_addr, rkey = chunk.va + chunk_off, chunk.rkey
+                else:
+                    remote_addr, rkey = chunk.addr + chunk_off, peer.global_rkey
+                wr = SendWR(
+                    Opcode.WRITE,
+                    inline_data=piece,
+                    remote_addr=remote_addr,
+                    rkey=rkey,
+                )
+                handle = self._try_fast(peer, wr, priority, 2, True)
+                if handle is not None:
+                    procs.append(handle)
+                else:
+                    procs.append(
+                        self.sim.process(self._post(chunk.node_id, wr, priority))
+                    )
+            if procs:
+                results = yield self.sim.all_of(procs)
+                self._check(list(results.values()), "replica write")
+        except LiteError:
+            kernel.manager.mark_replica_stale(mapping.lmr_id, backup_id)
+        return WcStatus.SUCCESS
+
+    def _ack_replicated_write(self, mapping: MappedLmr) -> None:
+        """Bump the per-LMR write-ordering version after a full ack."""
+        kernel = self.kernel
+        kernel.manager.bump_version(mapping.lmr_id)
+        record = kernel._records_by_id.get(mapping.lmr_id)
+        if record is not None:
+            record.version += 1
+
     # -- data ops -------------------------------------------------------------
     def write(self, mapping: MappedLmr, offset: int, data: bytes, priority: int = 0):
         """LT_write kernel path (generator)."""
         kernel = self.kernel
+        self._check_not_failed(mapping)
         yield from kernel.qos.gate(priority)
         start = self.sim.now
         procs = []
@@ -232,15 +303,27 @@ class OneSidedEngine:
                 procs.append(
                     self.sim.process(self._post(chunk.node_id, wr, priority))
                 )
+        # Replicated LMR: the same bytes fan out to every backup copy
+        # inside the same completion barrier — an acked write is on all
+        # live replicas before the caller resumes.
+        for backup_id in sorted(mapping.replica_chunks):
+            procs.append(
+                self.sim.process(
+                    self._backup_write(mapping, backup_id, offset, data, priority)
+                )
+            )
         if procs:
             results = yield self.sim.all_of(procs)
             self._check(list(results.values()), "write")
+        if mapping.replica_chunks:
+            self._ack_replicated_write(mapping)
         self.writes += 1
         kernel.qos.observe(priority, self.sim.now - start)
 
     def read(self, mapping: MappedLmr, offset: int, nbytes: int, priority: int = 0):
         """LT_read kernel path (generator; returns bytes)."""
         kernel = self.kernel
+        self._check_not_failed(mapping)
         yield from kernel.qos.gate(priority)
         start = self.sim.now
         pieces = mapping.plan(offset, nbytes)
@@ -297,7 +380,17 @@ class OneSidedEngine:
         yield from kernel.qos.gate(priority)
         start = self.sim.now
         by_peer: dict = {}
+        backup_procs = []
         for mapping, offset, data in ops:
+            self._check_not_failed(mapping)
+            for backup_id in sorted(mapping.replica_chunks):
+                backup_procs.append(
+                    self.sim.process(
+                        self._backup_write(
+                            mapping, backup_id, offset, data, priority
+                        )
+                    )
+                )
             view = memoryview(data)
             for chunk, chunk_off, piece_len, buf_off in mapping.plan(
                 offset, len(data)
@@ -322,14 +415,17 @@ class OneSidedEngine:
                     rkey=rkey,
                 )
                 by_peer.setdefault(chunk.node_id, []).append(wr)
-        if by_peer:
-            procs = [
+        if by_peer or backup_procs:
+            batch_procs = [
                 self.sim.process(self._post_batch(peer_id, wrs, priority))
                 for peer_id, wrs in by_peer.items()
             ]
-            results = yield self.sim.all_of(procs)
-            for statuses in results.values():
-                self._check(statuses, "write_vec")
+            results = yield self.sim.all_of(batch_procs + backup_procs)
+            for index in range(len(batch_procs)):
+                self._check(results[index], "write_vec")
+        for mapping, _offset, _data in ops:
+            if mapping.replica_chunks:
+                self._ack_replicated_write(mapping)
         self.writes += len(ops)
         kernel.qos.observe(priority, self.sim.now - start)
 
@@ -347,6 +443,7 @@ class OneSidedEngine:
         by_peer: dict = {}
         slots = []  # (op_index, part_index, wr)
         for op_index, (mapping, offset, nbytes) in enumerate(ops):
+            self._check_not_failed(mapping)
             pieces = mapping.plan(offset, nbytes)
             parts: List[bytes] = [b""] * len(pieces)
             op_parts.append(parts)

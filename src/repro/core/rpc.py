@@ -21,7 +21,7 @@ import struct
 from typing import Callable, Dict, Optional
 
 from ..sim import Store
-from .errors import EIO, ETIMEDOUT, LiteError
+from .errors import EIO, ENODEV, ETIMEDOUT, LiteError
 from .protocol import (
     IMM_KIND_REPLY,
     IMM_KIND_REQUEST,
@@ -296,8 +296,21 @@ class RpcEngine:
         the first attempt, each with a doubled wait window (capped at
         8x); the server's reply cache makes retries idempotent.  Without
         a timeout the call waits forever (seed behavior).
+
+        Errno contract (docs/API.md): a server the keep-alive layer has
+        already declared dead fails fast with ``ENODEV`` — no point
+        burning the whole retry schedule; an unresponsive-but-not-yet-
+        declared server exhausts its windows and raises the retryable
+        ``ETIMEDOUT`` (the peer may be promoted/resurrected meanwhile).
         """
         kernel = self.kernel
+        if timeout is not None:
+            info = kernel.peers.get(server_id)
+            if info is not None and not info.alive:
+                raise LiteError(
+                    f"RPC to LITE {server_id}: peer is marked dead",
+                    errno=ENODEV,
+                )
         yield from kernel.qos.gate(priority)
         call_start = self.sim.now
         ring = yield from self._ensure_ring(server_id)

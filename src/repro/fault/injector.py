@@ -131,12 +131,16 @@ class FaultInjector:
         node = self._node(crash.node_id)
         node.crashed = True
         self._set_link(crash.node_id, False)
+        # A primed cost table must never commit an op against the dead
+        # (and after restart: possibly remapped) node.
+        node.fastpath_fence()
         self.crashes += 1
         if crash.restart_at_us is None:
             return
         yield self.cluster.sim.timeout(crash.restart_at_us - crash.at_us)
         node.crashed = False
         self._set_link(crash.node_id, True)
+        node.fastpath_fence()
         self.restarts += 1
 
     def _drive_link_down(self, outage):

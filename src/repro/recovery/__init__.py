@@ -1,0 +1,10 @@
+"""Crash-to-rejoin lifecycle: leases, promotion, resync (INTERNALS §14).
+
+The recovery layer is strictly opt-in: nothing here runs until a
+:class:`RecoveryManager` is armed, so runs without one are byte-
+identical to pre-recovery builds.
+"""
+
+from .manager import RecoveryManager
+
+__all__ = ["RecoveryManager"]

@@ -326,6 +326,11 @@ def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):
     dst_port = table.dst_port
     if not src_port.up or not dst_port.up:
         return None
+    # Belt and suspenders against a dead/remapped peer: a crash downs
+    # the link (caught above) and fences every table (cost_version), but
+    # a *rebuilt* table toward a crashed-flag node must still decline.
+    if table.rdev.node.crashed:
+        return None
     src_tx = table.src_tx
     dst_rx = table.dst_rx
     dst_tx = table.dst_tx

@@ -30,6 +30,7 @@ from repro.core import (
 )
 from repro.fault import FaultInjector, FaultPlan
 from repro.hw.params import MB, SimParams
+from repro.recovery import RecoveryManager
 from repro.stats import snapshot
 from repro.verbs import Access
 from repro.verbs.fastpath import CostTable, fp_stats, prime_qp, try_fast_post
@@ -129,6 +130,88 @@ def test_fastpath_equivalence_randomized(seed, faults):
     assert fast[1] == slow[1], "event sequence counter diverged"
     assert fast[2] == slow[2], "cluster snapshot diverged"
     assert fast[3] == slow[3], "op outcomes diverged"
+
+
+def _run_crash_burst(fastpath: bool):
+    """A write burst whose target node crashes (and restarts) mid-burst,
+    with keep-alive + lease recovery armed; returns end-state observables."""
+    saved = os.environ.get("REPRO_NO_FASTPATH")
+    _with_fastpath(fastpath)
+    reset_global_counters()
+    try:
+        cluster = Cluster(3)
+        kernels = lite_boot(cluster)
+        sim = cluster.sim
+        # LITE 2 hosts the primary chunks and dies mid-burst, then
+        # restarts into a remapped world (its old LMR was promoted away).
+        plan = FaultPlan().crash(1, 1500.0, restart_at_us=6000.0)
+        injector = FaultInjector(cluster, plan).install()
+        injector.arm_lite(kernels, keepalive_interval_us=500.0, miss_limit=2)
+        recovery = RecoveryManager(
+            cluster, kernels, lease_ttl_us=1500.0,
+            renew_interval_us=400.0, sweep_interval_us=300.0,
+        ).arm()
+        ctx = LiteContext(kernels[0], "burst", kernel_level=True)
+        holder = {}
+
+        def setup():
+            holder["lh"] = yield from ctx.lt_malloc(
+                256 * 1024, nodes=2, replicas=1
+            )
+
+        cluster.run_process(setup())
+        lh = holder["lh"]
+        outcomes = []
+
+        def driver():
+            for index in range(60):
+                offset = (index * 64) % (256 * 1024)
+                try:
+                    yield from ctx.lt_write(
+                        lh, offset, bytes([index & 0xFF]) * 64
+                    )
+                    outcomes.append(index)
+                except LiteError as exc:
+                    outcomes.append((type(exc).__name__, exc.errno))
+                    yield sim.timeout(200.0)
+                yield sim.timeout(40.0)
+            # Settle past restart + rejoin so fence/re-prime paths run.
+            if sim.now < 10000.0:
+                yield sim.timeout(10000.0 - sim.now)
+            recovery.stop()
+
+        # No trailing sim.run(): the keep-alive/lease loops never exit,
+        # and the driver's settle window already drains in-flight tails.
+        cluster.run_process(driver())
+        snap = dataclasses.asdict(snapshot(cluster))
+        return (sim.now, sim._seq, snap, outcomes,
+                recovery.promotions, recovery.rejoins)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+
+
+def test_crash_mid_burst_fastpath_ab_identity():
+    """Regression for the fast-path/fault interplay (ISSUE 7 satellite):
+    a QP entering ERROR or its peer crashing/rejoining must fence every
+    primed CostTable, so a mid-burst crash produces bit-identical sim
+    time, event order, snapshots, and op outcomes with the fast path on
+    vs ``REPRO_NO_FASTPATH=1`` — a stale table committing against the
+    dead (or post-restart remapped) peer would diverge all four."""
+    commits_before = fp_stats.commits
+    fast = _run_crash_burst(fastpath=True)
+    assert fp_stats.commits > commits_before, \
+        "the burst must actually exercise fast-path commits"
+    slow = _run_crash_burst(fastpath=False)
+    assert fast[0] == slow[0], "final sim time diverged"
+    assert fast[1] == slow[1], "event sequence counter diverged"
+    assert fast[2] == slow[2], "cluster snapshot diverged"
+    assert fast[3] == slow[3], "op outcomes diverged"
+    assert fast[4:] == slow[4:], "recovery lifecycle diverged"
+    assert fast[4] >= 1, "the crash must trigger a promotion"
+    assert fast[5] >= 1, "the restart must trigger a rejoin"
 
 
 def test_kill_switch_disables_commits():

@@ -7,6 +7,8 @@ import pytest
 
 from repro.cluster import Cluster, ClusterManager
 from repro.core import LiteContext, Permission, lite_boot
+from repro.fault import FaultInjector, FaultPlan
+from repro.recovery import RecoveryManager
 from repro.verbs import Access, Opcode, RecvWR, SendWR, Sge
 
 
@@ -61,6 +63,96 @@ def test_lite_keeps_working_after_manager_restart():
         return data
 
     assert cluster.run_process(phase2()) == b"pre-crash"
+
+
+def test_restore_roundtrips_replica_and_lease_state():
+    """The replicated-LMR directory and the lease table survive the
+    JSON round trip bit-for-bit, including the int keys JSON mangles
+    into strings and the ``lost``/``failed``/``version`` bookkeeping."""
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    recovery = RecoveryManager(cluster, kernels).arm()
+    ctx = LiteContext(kernels[0], "rep", kernel_level=True)
+
+    def setup():
+        lh = yield from ctx.lt_malloc(8192, name="repl", nodes=2, replicas=2)
+        yield from ctx.lt_write(lh, 0, b"v" * 64)
+        recovery.stop()
+        return lh.mapping.lmr_id
+
+    lmr_id = cluster.run_process(setup())
+    # Exercise the lost-copy branch too.
+    cluster.manager.mark_replica_stale(lmr_id, 3)
+    blob = json.dumps(cluster.manager.snapshot())
+    restored = ClusterManager.restore(json.loads(blob), cluster.nodes)
+    assert restored.replicas == cluster.manager.replicas
+    assert restored.leases == cluster.manager.leases
+    entry = restored.replicas[lmr_id]
+    assert entry["version"] == 1
+    assert 3 in entry["lost"] and 3 not in entry["backups"]
+    assert all(isinstance(k, int) for k in restored.replicas)
+    assert all(isinstance(k, int) for k in entry["backups"])
+    assert all(isinstance(k, int) for k in entry["lost"])
+    assert all(isinstance(k, int) for k in restored.leases)
+    # Restoring the same snapshot twice is idempotent.
+    again = ClusterManager.restore(json.loads(blob), cluster.nodes)
+    assert again.snapshot() == restored.snapshot()
+
+
+def test_restart_under_active_fault_plan_still_fails_over():
+    """Swap the manager for a restored replica *while a crash plan is
+    in flight*: lease expiry, promotion, and the remapped read must all
+    work against the restored directory (the healthy-cluster restart
+    tests never exercised this)."""
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    sim = cluster.sim
+    plan = FaultPlan().crash(1, 3000.0)  # LITE 2 (primary's node) dies
+    injector = FaultInjector(cluster, plan).install()
+    injector.arm_lite(kernels, keepalive_interval_us=500.0, miss_limit=2)
+    recovery = RecoveryManager(
+        cluster, kernels, lease_ttl_us=1500.0,
+        renew_interval_us=400.0, sweep_interval_us=300.0,
+    ).arm()
+    ctx = LiteContext(kernels[0], "ha", kernel_level=True)
+    state = {}
+
+    def phase1():
+        lh = yield from ctx.lt_malloc(8192, name="ha", nodes=2, replicas=2)
+        yield from ctx.lt_write(lh, 0, b"pre-restart")
+        state["lh"] = lh
+        # Ride into the crash (but before lease expiry declares it).
+        yield sim.timeout(3200.0 - sim.now)
+
+    cluster.run_process(phase1())
+    assert cluster.nodes[1].crashed, "the plan must have fired by now"
+
+    # Manager crash + restart from snapshot, mid-failure: every client
+    # of the old instance is repointed, like the healthy-restart test.
+    new_manager = ClusterManager.restore(
+        json.loads(json.dumps(cluster.manager.snapshot())), cluster.nodes
+    )
+    cluster.manager = new_manager
+    recovery.manager = new_manager
+    for kernel in kernels:
+        kernel.manager = new_manager
+
+    def phase2():
+        lh = state["lh"]
+        # Let lease expiry + promotion land against the restored state.
+        yield sim.timeout(6000.0 - sim.now)
+        entry = new_manager.replicas[lh.mapping.lmr_id]
+        assert entry["master"] != 2, "promotion must use restored directory"
+        assert not entry["failed"]
+        data = yield from ctx.lt_read(lh, 0, 11)
+        assert data == b"pre-restart"
+        yield from ctx.lt_write(lh, 64, b"post-restart")
+        recovery.stop()
+
+    cluster.run_process(phase2())
+    assert recovery.promotions == 1
+    # Writes after the restart keep moving the restored version counter.
+    assert new_manager.replicas[state["lh"].mapping.lmr_id]["version"] == 2
 
 
 def test_restored_manager_preserves_id_allocation():

@@ -67,6 +67,12 @@ def test_golden_rpc_roundtrip():
     _check_golden("rpc_roundtrip")
 
 
+def test_golden_recovery_failover():
+    """The whole recovery protocol — lease expiry, promotion broadcast,
+    rejoin, resync copy — decomposes into a deterministic span tree."""
+    _check_golden("recovery_failover")
+
+
 def test_cold_read_misses_warm_read_hits():
     """The cold/warm pair differ exactly where they should: the cold
     trace carries RNIC cache-miss markers, the warm trace none."""

@@ -169,11 +169,83 @@ def mix_cancel_storm(quick: bool) -> dict:
     }
 
 
+def mix_crash_recovery(quick: bool) -> dict:
+    """Crash-recovery mix: replicated writes through a seeded crash.
+
+    A ``replicas=2`` LMR takes retry-wrapped 64 B writes/reads while
+    its primary's node crashes and restarts — so the run times the
+    whole lease/failover/rejoin/resync machinery, not just the happy
+    path.  Reports the unavailability window and promotion time from
+    the recovery layer's ``repro.obs`` histograms alongside the usual
+    throughput numbers (extra keys are ignored by the compare gate).
+    """
+    from repro.core import LiteError
+    from repro.fault import FaultInjector, FaultPlan
+    from repro.recovery import RecoveryManager
+
+    ops = 400 if quick else 2_000
+    cluster, kernels = _lite_pair(3)
+    sim = cluster.sim
+    plan = FaultPlan().crash(1, 4000.0, restart_at_us=9000.0)
+    injector = FaultInjector(cluster, plan)
+    injector.install()
+    injector.arm_lite(kernels, keepalive_interval_us=500.0, miss_limit=2)
+    recovery = RecoveryManager(
+        cluster, kernels, lease_ttl_us=1500.0,
+        renew_interval_us=400.0, sweep_interval_us=300.0,
+    ).arm()
+    ctx = LiteContext(kernels[0], "bench", kernel_level=True)
+    holder = {}
+
+    def setup():
+        holder["lh"] = yield from ctx.lt_malloc(
+            256 * KB, nodes=2, replicas=2
+        )
+
+    cluster.run_process(setup())
+    lh = holder["lh"]
+    payload = b"x" * 64
+
+    def driver():
+        for index in range(ops):
+            offset = (index * 64) % (256 * KB)
+            for attempt in range(8):
+                try:
+                    if index & 1:
+                        yield from ctx.lt_read(lh, offset, 64)
+                    else:
+                        yield from ctx.lt_write(lh, offset, payload)
+                    break
+                except LiteError:
+                    yield sim.timeout(300.0 * (attempt + 1))
+            yield sim.timeout(10.0)
+        # Settle past the restart so rejoin + resync are in the timing.
+        if sim.now < 14000.0:
+            yield sim.timeout(14000.0 - sim.now)
+        recovery.stop()
+
+    wall, sim_us, events = _timed_run(cluster, driver())
+    unavail = recovery.metrics.histogram("recovery.unavailability_us")
+    promo = recovery.metrics.histogram("recovery.promotion_us")
+    return {
+        "ops": ops,
+        "wall_s": wall,
+        "sim_us": sim_us,
+        "events": events,
+        "promotions": recovery.promotions,
+        "rejoins": recovery.rejoins,
+        "unavailability_p50_us": unavail.snapshot().percentile(50),
+        "unavailability_p99_us": unavail.snapshot().percentile(99),
+        "promotion_p99_us": promo.snapshot().percentile(99),
+    }
+
+
 MIXES = {
     "small_ops": mix_small_ops,
     "large_msg": mix_large_msg,
     "rpc": mix_rpc,
     "cancel_storm": mix_cancel_storm,
+    "crash_recovery": mix_crash_recovery,
 }
 
 

@@ -30,8 +30,10 @@ from repro.apps.kvstore import LiteKVClient, LiteKVServer  # noqa: E402
 from repro.apps.mapreduce import LiteMR  # noqa: E402
 from repro.apps.mapreduce.common import wordcount_map  # noqa: E402
 from repro.cluster import Cluster  # noqa: E402
-from repro.core import LiteError, lite_boot  # noqa: E402
+from repro.core import LiteContext, LiteError, lite_boot  # noqa: E402
+from repro.core.lmr import ChunkInfo, MappedLmr  # noqa: E402
 from repro.fault import FaultInjector, FaultPlan  # noqa: E402
+from repro.recovery import RecoveryManager  # noqa: E402
 from repro.workloads import generate_corpus  # noqa: E402
 
 
@@ -95,6 +97,127 @@ def run_mr(seed: int, plan: FaultPlan, verbose: bool) -> str:
     return "ok"
 
 
+# Lease timings for the recovery storm (us, simulated).
+_LEASE_TTL = 1500.0
+_RENEW = 400.0
+_SWEEP = 300.0
+
+
+def run_recovery(seed: int, n_ops: int, verbose: bool) -> str:
+    """One seeded crash/rejoin storm against a ``replicas=2`` LMR.
+
+    Asserts the two recovery invariants: every write acknowledged
+    before (or between) the crashes is readable afterwards on the
+    promoted primary *and* on every live backup copy (zero committed-
+    write loss), and every unavailability window stays bounded by
+    lease expiry + detection + promotion slack.
+    """
+    cluster = Cluster(3)
+    kernels = lite_boot(cluster)
+    sim = cluster.sim
+    # Staggered storm: the primary's node and one backup node each
+    # crash and restart; node 0 (client + master) is spared.
+    crash1 = 3000.0 + (seed % 5) * 700.0
+    restart1 = crash1 + 9000.0
+    crash2 = restart1 + 4000.0
+    restart2 = crash2 + 9000.0
+    plan = (FaultPlan()
+            .crash(1, crash1, restart_at_us=restart1)
+            .crash(2, crash2, restart_at_us=restart2))
+    injector = FaultInjector(cluster, plan, seed=seed).install()
+    injector.arm_lite(kernels, keepalive_interval_us=500.0, miss_limit=2)
+    recovery = RecoveryManager(
+        cluster, kernels, lease_ttl_us=_LEASE_TTL,
+        renew_interval_us=_RENEW, sweep_interval_us=_SWEEP,
+    ).arm()
+    ctx = LiteContext(kernels[0], "storm", kernel_level=True)
+    committed = {}
+    size = 64 * 1024
+
+    def attempt(lh, offset, value):
+        for attempt_no in range(10):
+            try:
+                yield from ctx.lt_write(lh, offset, value)
+                return True
+            except LiteError:
+                # Retry through the unavailability window (the remap
+                # lands via CHUNKS_UPDATE; client code never changes).
+                yield sim.timeout(300.0 * (attempt_no + 1))
+        return False
+
+    def proc():
+        # Primary on LITE 2 (the first crashed node); backups land on
+        # LITE 1 and 3, so one copy survives every single-node crash.
+        lh = yield from ctx.lt_malloc(size, name="storm", nodes=2, replicas=2)
+        lmr_id = lh.mapping.lmr_id
+        for index in range(n_ops):
+            offset = (index * 64) % size
+            value = bytes([index & 0xFF]) * 64
+            acked = yield from attempt(lh, offset, value)
+            if acked:
+                committed[offset] = value
+            yield sim.timeout(150.0)
+        # Let the tail of the storm finish: second restart + rejoin +
+        # resync all complete within a few lease periods.
+        settle = restart2 + 8000.0
+        if sim.now < settle:
+            yield sim.timeout(settle - sim.now)
+        # Zero committed-write loss on the (possibly promoted) primary.
+        for offset, value in sorted(committed.items()):
+            got = yield from ctx.lt_read(lh, offset, 64)
+            if got != value:
+                raise AssertionError(
+                    f"lost committed write at offset {offset} "
+                    f"(seed {seed}): {got!r} != {value!r}"
+                )
+        # ... and on every live backup copy (byte-identical replicas).
+        entry = cluster.manager.replicas[lmr_id]
+        master = kernels[entry["master"] - 1]
+        for backup_id in sorted(entry["backups"]):
+            backup_map = MappedLmr(
+                0, "", entry["size"],
+                [ChunkInfo.from_wire(w) for w in entry["backups"][backup_id]],
+                0,
+            )
+            for offset, value in sorted(committed.items()):
+                got = yield from master.onesided.read(backup_map, offset, 64)
+                if got != value:
+                    raise AssertionError(
+                        f"backup {backup_id} diverged at offset {offset} "
+                        f"(seed {seed})"
+                    )
+        recovery.stop()
+
+    cluster.run_process(proc())
+    if not committed:
+        raise AssertionError(f"no write ever committed (seed {seed})")
+    if recovery.promotions < 1:
+        raise AssertionError(f"storm never exercised failover (seed {seed})")
+    # Bounded unavailability: expiry is detected at most TTL + one renew
+    # + one sweep after the last successful renewal, and promotion adds
+    # only control-plane round trips.
+    bound = _LEASE_TTL + _RENEW + _SWEEP + 1000.0
+    for sample in recovery.unavailability_samples:
+        if sample > bound:
+            raise AssertionError(
+                f"unavailability {sample:.1f} us exceeds bound {bound:.1f} us "
+                f"(seed {seed})"
+            )
+    entry = cluster.manager.replicas[next(iter(cluster.manager.replicas))]
+    if verbose:
+        print(f"    {injector!r}")
+        print(f"    {recovery!r}")
+        print(f"    unavailability={recovery.unavailability_samples}")
+    if entry["failed"] or len(entry["backups"]) != 2:
+        raise AssertionError(
+            f"replica set did not heal (seed {seed}): {entry['backups']}"
+        )
+    return (f"ok ({len(committed)} committed, "
+            f"{recovery.promotions} promotion(s), "
+            f"{recovery.resyncs} resync(s), max unavail "
+            f"{max(recovery.unavailability_samples):.0f} us)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=5,
@@ -113,10 +236,29 @@ def main(argv=None) -> int:
                         help="fault-plan horizon for the MapReduce run, "
                              "which finishes in a few hundred us (default 300)")
     parser.add_argument("--kv-ops", type=int, default=40)
+    parser.add_argument("--recovery", action="store_true",
+                        help="run the crash/rejoin recovery storm instead of "
+                             "the kv/mr workloads (replicated LMR, lease "
+                             "failover, zero-committed-loss assertion)")
+    parser.add_argument("--recovery-ops", type=int, default=200,
+                        help="writes attempted per recovery storm")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
     failures = 0
+    if args.recovery:
+        for seed in range(args.seeds):
+            try:
+                verdict = run_recovery(seed, args.recovery_ops, args.verbose)
+            except (AssertionError, LiteError) as exc:
+                verdict = f"FAILED: {exc}"
+                failures += 1
+            print(f"seed {seed:3d} recovery: {verdict}")
+        if failures:
+            print(f"{failures} recovery storm(s) FAILED")
+            return 1
+        print("all recovery storms passed")
+        return 0
     for seed in range(args.seeds):
         for name, duration in (("kv", args.duration),
                                ("mr", args.mr_duration)):

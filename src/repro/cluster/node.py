@@ -82,7 +82,7 @@ class Node:
         against a dead or remapped peer.  Skips nodes whose verbs
         device was never created (nothing was ever primed).
         """
-        self.rnic.cost_version += 1
+        self.rnic.fence()
         if self._verbs_device is not None:
             for qp in self._verbs_device.qps.values():
                 qp._fp_table = None

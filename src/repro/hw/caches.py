@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
-__all__ = ["LruCache", "CacheStats"]
+__all__ = ["LruCache", "LruDict", "CacheStats"]
 
 
 class CacheStats:
@@ -184,5 +184,68 @@ class LruCache:
     def __repr__(self) -> str:
         return (
             f"LruCache({self.name}, {len(self._entries)}/{self.capacity}, "
+            f"{self.stats!r})"
+        )
+
+
+class LruDict:
+    """Bounded key→value mapping with O(1) insertion-order eviction.
+
+    The value-carrying sibling of :class:`LruCache`, used for the
+    software-side duplicate-suppression caches (RPC reply cache, control
+    reply cache).  Unlike :class:`LruCache`, lookups do NOT bump
+    recency: eviction is pure insertion order, so replacing the old
+    ``while len(...) >= MAX: pop(next(iter(...)))`` loops with
+    :meth:`put` keeps the victim sequence — and therefore every
+    duplicate-suppression outcome — bit-identical.  Overwriting an
+    existing key keeps its original position (plain-dict assignment
+    semantics, matching the legacy code).
+    """
+
+    __slots__ = ("capacity", "name", "_entries", "stats")
+
+    def __init__(self, capacity: int, name: str = "cache"):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._entries: dict = {}
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable, default=None):
+        """Value for ``key`` (no recency bump; counts hit/miss)."""
+        value = self._entries.get(key, default)
+        if value is default:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Install ``key`` → ``value``, evicting oldest entries if full."""
+        entries = self._entries
+        if key in entries:
+            entries[key] = value
+            return
+        stats = self.stats
+        while len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+            stats.evictions += 1
+        entries[key] = value
+        stats.installs += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (stats retained)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"LruDict({self.name}, {len(self._entries)}/{self.capacity}, "
             f"{self.stats!r})"
         )

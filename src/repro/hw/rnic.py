@@ -45,6 +45,21 @@ class Rnic:
         # key on it (see verbs/fastpath.py).
         self.cost_version = 0
 
+    def fence(self) -> None:
+        """Invalidate every primed fast-path cost table stamped against
+        this RNIC.
+
+        All fencing events route here: node crash/restart and lease
+        expiry (``Node.fastpath_fence``), QP ERROR/reset
+        (``QueuePair._invalidate_fastpath``), link transitions
+        (``FaultInjector._set_link``), MR deregistration and SRAM
+        resize (below).  A stale table stamped before the fence can
+        then never commit — its ``cost_version`` stamp no longer
+        matches — so no run-to-completion chain (one- or two-sided)
+        crosses a fault it did not model.
+        """
+        self.cost_version += 1
+
     # -- SRAM lookup costs (computed eagerly, spent inside process()) ---
     def key_lookup_cost(self, key: int) -> float:
         """Cost of locating one MR record in SRAM."""
@@ -93,7 +108,7 @@ class Rnic:
         self.key_cache.invalidate(key)
         if page_ids:
             self.pte_cache.invalidate_many(page_ids)
-        self.cost_version += 1
+        self.fence()
 
     def resize_caches(self, key_entries: int = None, pte_entries: int = None,
                       qp_entries: int = None) -> None:
@@ -109,7 +124,7 @@ class Rnic:
             self.pte_cache = LruCache(pte_entries, name="ptes")
         if qp_entries is not None:
             self.qp_cache = LruCache(qp_entries, name="qp-state")
-        self.cost_version += 1
+        self.fence()
 
     # -- pipeline --------------------------------------------------------
     def process(self, extra_cost: float = 0.0, dma_bytes: int = 0):

@@ -187,7 +187,18 @@ class RecoveryManager:
         if node is not None:
             # Same invalidation the injector applies at crash time —
             # lease expiry can also fire on a live-but-partitioned node
-            # the injector never touched.
+            # the injector never touched.  The fencing matrix for
+            # primed run-to-completion chains (one-sided writes AND the
+            # fused RPC request/reply chain):
+            #   crash / restart      -> injector._set_link fence
+            #   link down / flap     -> injector._set_link fence
+            #   lease expiry         -> here
+            #   rejoin (QP reset)    -> QueuePair.reset -> rnic.fence
+            #   QP ERROR             -> QueuePair._enter_error
+            #   MR dereg / resize    -> RNIC.invalidate_mr/resize_caches
+            #   ring wrap / remap    -> fp_rpc_gate geometry check
+            # Each path bumps an RNIC cost_version, so any chain primed
+            # before the event can never commit after it.
             node.fastpath_fence()
         for lmr_id in sorted(self.manager.replicas):
             entry = self.manager.replicas[lmr_id]

@@ -1,4 +1,4 @@
-"""Run-to-completion fast paths for uncontended one-sided operations.
+"""Run-to-completion fast paths for uncontended one- and two-sided ops.
 
 The generator datapath walks ~10 frames per op (`api` → `kernel` → `qp`
 → `rnic` → `fabric`), each suspension costing a scheduler round trip —
@@ -10,6 +10,21 @@ the handful of transitions that land later (resource releases, the
 responder-order event, CQE delivery) are scheduled as *batch dispatches*
 on the engine's fast-path queue (`Simulator.fp_schedule`) — one callable
 per distinct instant instead of one event per transition.
+
+Two-sided traffic fuses one step further: when a write-imm lands on a
+LITE kernel whose batch==1 poller is parked on the destination CQ, the
+receiver's poll iteration itself joins the chain.  The CQE bypasses the
+CQ store (its delivery counters are replayed), the parked poller is
+never resumed, and a final dispatch at the exact instant the poller's
+discovery delay would have elapsed replays the iteration's CPU charges
+and hands the CQE to the *real* ``kernel._dispatch_wc`` — from which
+point request parsing, the ring-head advance, handler wakeup, and the
+reply write all run the ordinary code (and the reply's own write-imm
+can fuse again on the way back).  The cross-node cost chain is stamped
+by both ends: the ``CostTable`` folds in both nodes' SimParams/RNIC
+versions, and ``kernel.fp_rpc_gate`` checks the live server-ring
+geometry (bound ring, in-bounds non-wrapping offset, live peer) per
+commit.
 
 Soundness rests on two pillars:
 
@@ -86,6 +101,20 @@ _MEMO_MAX = 512
 #   READ:      7 dispatches + order-done = 8   → pad 20 - 8  = 11 (+1 sig)
 _CORE_PAD = {Opcode.WRITE: 12, Opcode.WRITE_IMM: 13, Opcode.READ: 11}
 
+# A *fused* two-sided WRITE_IMM spends one extra dispatch (the deferred
+# kernel dispatch at t_disp) → 7 dispatches + order-done = 8 real, so
+# its commit-time pad is one less than plain WRITE_IMM's: 12.  The two
+# receiver-side enqueues it avoids — the CQ-getter succeed that wakes
+# the parked poller and the poller's discovery timeout, both at t_rc —
+# are padded *at t_rc by the at_rc dispatch itself*, and only if the
+# receiver is still cleanly parked then (an interloping CQE may have
+# woken the poller mid-chain, in which case at_rc reverts to a real
+# push and the receiver events all happen — and count — for real).
+# Healthy fused total: 12 + 8 + 2 = 22 = plain 20 + wake + discovery.
+# Everything from the dispatch instant onward (handler wakeup, head
+# write, reply) is real code, identical in both modes: no pad.
+_FUSED_IMM_PAD = 12
+
 
 class FastPathStats:
     """Module-wide fast-path telemetry (host-side only, not sim state)."""
@@ -133,7 +162,7 @@ class CostTable:
         "doorbell", "wqe_l", "ser0", "prop", "ack_ser", "rnic_ack",
         "completion_l", "completion_r", "srq_source", "srq_items",
         "_lparams", "_rparams", "_fparams", "_link_bw", "_sizes",
-        "_spans", "_mem",
+        "_spans", "_phys", "_mem",
     )
 
     def __init__(self, qp):
@@ -199,6 +228,13 @@ class CostTable:
         # the backing resolution carries the host allocator's free
         # epoch and is revalidated with one compare per hit.
         self._spans = {}
+        # rkey → (mr, base_addr, end_addr) for *physical* MRs (the LITE
+        # global MR): identity and bounds are immutable for a live
+        # registration and every address is in-reach, so only the
+        # backing resolution (allocator-epoch dependent) runs per
+        # attempt.  Deregistration bumps cost_version → whole table
+        # (and this cache) is dropped.
+        self._phys = {}
         self._mem = rnode.memory
         # Receive-queue source for inbound WRITE_IMM, resolved lazily
         # and revalidated by identity per attempt.
@@ -359,36 +395,59 @@ def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):
     rdev = table.rdev
     need = _NEED_REMOTE_READ if opcode is Opcode.READ else _NEED_REMOTE_WRITE
     addr = wr.remote_addr
-    # Inline replay of rdev._resolve_remote, memoised per span (see the
-    # _spans comment in CostTable).
-    span = table._spans.get((rkey, addr, nbytes, need))
-    if span is not None and span[3] == table._mem.version:
-        mr, offset, pages, _epoch, backing, reg_off = span
-    else:
-        mr = rdev.mrs_by_rkey.get(rkey)
-        if mr is None or mr.deregistered:
+    # Inline replay of rdev._resolve_remote.  Physical MRs (the LITE
+    # global MR — every RPC/ring address) see a fresh address on most
+    # posts, so the per-span memo would miss and churn; their immutable
+    # identity/bounds are cached per rkey instead and only the backing
+    # resolution (allocator-epoch dependent) runs per attempt.
+    phys = table._phys.get(rkey)
+    if phys is not None:
+        mr, base, end = phys
+        if mr.deregistered:
             return None
-        base = mr.base_addr
-        if not (base <= addr and addr + nbytes <= base + mr.size):
+        if not (base <= addr and addr + nbytes <= end):
             return None
         if not (mr._access_bits & need):
             return None
-        offset = addr - base
-        pages = () if mr.physical else tuple(mr.page_ids(offset, nbytes))
+        pages = ()
         try:
-            backing, reg_off = mr._backing(offset, nbytes)
+            backing, reg_off = mr._backing(addr - base, nbytes)
         except ValueError:
             return None
-        spans = table._spans
-        if len(spans) >= _MEMO_MAX:
-            spans.clear()
-        spans[(rkey, addr, nbytes, need)] = (
-            mr, offset, pages, table._mem.version, backing, reg_off,
-        )
+    else:
+        span = table._spans.get((rkey, addr, nbytes, need))
+        if span is not None and span[3] == table._mem.version:
+            mr, offset, pages, _epoch, backing, reg_off = span
+        else:
+            mr = rdev.mrs_by_rkey.get(rkey)
+            if mr is None or mr.deregistered:
+                return None
+            base = mr.base_addr
+            if not (base <= addr and addr + nbytes <= base + mr.size):
+                return None
+            if not (mr._access_bits & need):
+                return None
+            offset = addr - base
+            try:
+                backing, reg_off = mr._backing(offset, nbytes)
+            except ValueError:
+                return None
+            if mr.physical:
+                pages = ()
+                table._phys[rkey] = (mr, base, base + mr.size)
+            else:
+                pages = tuple(mr.page_ids(offset, nbytes))
+                spans = table._spans
+                if len(spans) >= _MEMO_MAX:
+                    spans.clear()
+                spans[(rkey, addr, nbytes, need)] = (
+                    mr, offset, pages, table._mem.version, backing, reg_off,
+                )
     if pages and not rrnic.pte_cache.contains_all(pages):
         return None
 
     rqp = srq_source = srq_items = None
+    fused_kernel = fcq = None
     if opcode is Opcode.WRITE_IMM:
         rqp = table.rqp
         if rqp is None or rqp is not rdev.qps.get(dst_qpn):
@@ -408,6 +467,31 @@ def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):
         srq_items = table.srq_items
         if len(srq_source) <= srq_source._fp_claims:
             return None
+        # Fused two-sided delivery: eligible when the destination is a
+        # LITE kernel whose batch==1 poll loop is the sole parked getter
+        # on this recv CQ, no earlier fused delivery is outstanding, and
+        # the kernel's RPC gate accepts the immediate (bound ring,
+        # in-bounds non-wrapping offset, live peer — the server-ring
+        # geometry half of the cross-node stamp, checked live).  When
+        # ineligible the chain still commits in the one-sided shape:
+        # the CQE push wakes the poller for real.
+        imm = wr.imm
+        if imm is not None:
+            lite = rdev.node.lite
+            if (lite is not None and lite._poller is not None
+                    and lite.params.cq_poll_batch <= 1):
+                fcq = rqp.recv_cq
+                if fcq is not lite.recv_cq or fcq.fp_pending:
+                    fcq = None
+                else:
+                    cq_store = fcq._store
+                    if (not cq_store.items
+                            and len(cq_store._getters) == 1
+                            and lite.fp_rpc_gate(
+                                imm, table.src_node, wr.remote_addr)):
+                        fused_kernel = lite
+                    else:
+                        fcq = None
 
     # ---- timeline (floats accumulated in the slow path's add order) ----
     dur_l, dur_r, ser, wire_n = table.size_costs(nbytes)
@@ -431,6 +515,10 @@ def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):
         a1 = t_rc + table.ack_ser
         t7 = (a1 + table.prop) + table.rnic_ack
         t_end = t7 + table.completion_l if signaled else t7
+        if fused_kernel is not None:
+            # Deferred kernel dispatch: the exact instant the poller's
+            # discovery delay would have elapsed after the CQE landed.
+            t_disp = t_rc + fused_kernel.params.poll_loop_us / 2
     else:  # READ
         r1 = t5 + ser                   # response serialization
         t6 = r1 + table.prop
@@ -438,8 +526,15 @@ def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):
         t_end = t7 + table.completion_l if signaled else t7
 
     # Nothing ordinary may be scheduled at or before completion: any
-    # such event could observe (or perturb) the op mid-flight.
-    if sim.fp_horizon() <= t_end:
+    # such event could observe (or perturb) the op mid-flight.  A fused
+    # chain's horizon spans both hosts — it must also cover the remote
+    # dispatch instant (fp_horizon is already cluster-global: there is
+    # one engine, so "no ordinary event before the chain's tail" is a
+    # statement about every node at once).
+    t_guard = t_end
+    if fused_kernel is not None and t_disp > t_guard:
+        t_guard = t_disp
+    if sim.fp_horizon() <= t_guard:
         return None
 
     # ---- commit ------------------------------------------------------
@@ -492,12 +587,17 @@ def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):
     dst_rx.in_use += 1
     if srq_source is not None:
         srq_source._fp_claims += 1
+    if fused_kernel is not None:
+        # One outstanding fused delivery per CQ: cleared by the at_disp
+        # dispatch; new fused commits decline while it is set.
+        fcq.fp_pending += 1
 
     handle = sim.event() if make_handle else None
     # fp_schedule inlined (this is the hottest dispatch source): the pad
     # is applied first, then each push takes the next seq, exactly as a
     # sim._seq bump followed by fp_schedule calls in program order.
-    seq = sim._seq + _CORE_PAD[opcode] + (1 if signaled else 0) + extra_pad
+    core_pad = _CORE_PAD[opcode] if fused_kernel is None else _FUSED_IMM_PAD
+    seq = sim._seq + core_pad + (1 if signaled else 0) + extra_pad
     fpq = sim._fpq
 
     def at_t2():
@@ -569,22 +669,81 @@ def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):
                 fp_stats.mismodels += 1
             srq_source._fp_claims -= 1
 
-        def at_rc():
-            if box:
-                recv_cq = rqp.recv_cq
-                if recv_cq is not None:
-                    recv_cq.push(WorkCompletion(
+        if fused_kernel is None:
+
+            def at_rc():
+                if box:
+                    recv_cq = rqp.recv_cq
+                    if recv_cq is not None:
+                        recv_cq.push(WorkCompletion(
+                            wr_id=box[0].wr_id, status=WcStatus.SUCCESS,
+                            opcode=Opcode.RECV_IMM, byte_len=nbytes, imm=imm,
+                            qp_num=dst_qpn, src_node=src_node, src_qpn=qp.qpn,
+                        ))
+                done.succeed()
+                if dst_tx.in_use >= dst_tx.capacity:
+                    fp_stats.mismodels += 1
+                if src_rx.in_use >= src_rx.capacity:
+                    fp_stats.mismodels += 1
+                dst_tx.in_use += 1
+                src_rx.in_use += 1
+
+        else:
+            # Fused delivery: the CQE bypasses the CQ store (the parked
+            # poller must not wake); its delivery counters are replayed
+            # at the push instant and at_disp hands it to the real
+            # kernel dispatch.  The bypass is re-validated at t_rc: an
+            # interloping CQE (e.g. a small op overtaking this one on
+            # the second RNIC pipeline unit) may have woken the poller
+            # mid-chain, in which case the slow path would have
+            # *appended* this CQE behind it — at_rc then reverts to a
+            # real push and every receiver event happens for real.
+            wcbox = []
+
+            def at_rc():
+                if box:
+                    wc = WorkCompletion(
                         wr_id=box[0].wr_id, status=WcStatus.SUCCESS,
                         opcode=Opcode.RECV_IMM, byte_len=nbytes, imm=imm,
                         qp_num=dst_qpn, src_node=src_node, src_qpn=qp.qpn,
-                    ))
-            done.succeed()
-            if dst_tx.in_use >= dst_tx.capacity:
-                fp_stats.mismodels += 1
-            if src_rx.in_use >= src_rx.capacity:
-                fp_stats.mismodels += 1
-            dst_tx.in_use += 1
-            src_rx.in_use += 1
+                    )
+                    fstore = fcq._store
+                    if len(fstore._getters) == 1 and not fstore.items:
+                        # Receiver still (or again) cleanly parked: the
+                        # slow path would consume the getter right now.
+                        # Replay the delivery counters, arm the bypass
+                        # window, and pad the two enqueues the slow
+                        # path performs at this instant (getter succeed
+                        # + the poller's discovery timeout).
+                        wc.completed_at = t_rc
+                        fcq.pushed += 1
+                        fcq.polled += 1
+                        fcq.fp_bypass = True
+                        sim._seq += 2
+                        wcbox.append(wc)
+                    else:
+                        # Poller is awake (or has a backlog): land in
+                        # the store exactly as the slow path would.
+                        fcq.push(wc)
+                done.succeed()
+                if dst_tx.in_use >= dst_tx.capacity:
+                    fp_stats.mismodels += 1
+                if src_rx.in_use >= src_rx.capacity:
+                    fp_stats.mismodels += 1
+                dst_tx.in_use += 1
+                src_rx.in_use += 1
+
+            def at_disp():
+                if wcbox:
+                    # t_rc is passed through verbatim: the wait charge
+                    # must be computed as (t_rc - park), never via
+                    # sim.now - discover (float addition is not
+                    # associative; the slow path charges at t_rc).
+                    fused_kernel._fp_deliver(wcbox[0], t_rc)
+                else:
+                    # Reverted (or SRQ mismodel): the real machinery
+                    # owns delivery; just retire the commit claim.
+                    fcq.fp_pending -= 1
 
         def at_ackrel():
             src_rx.release()
@@ -596,6 +755,9 @@ def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):
         heappush(fpq, (t_rc, seq, at_rc))
         seq += 1
         heappush(fpq, (a1, seq, at_ackrel))
+        if fused_kernel is not None:
+            seq += 1
+            heappush(fpq, (t_disp, seq, at_disp))
         seq += 1
         heappush(fpq, (t_end, seq, at_end))
 

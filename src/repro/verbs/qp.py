@@ -134,6 +134,18 @@ class QueuePair:
         """
         self.state = "RTS"
         self._invalidate_fastpath()
+        # Defensive: a fused IMM chain counts its in-flight delivery in
+        # recv_cq.fp_pending and may leave a poll-bypass window armed.
+        # If the QP errored mid-chain those deliveries flushed with the
+        # rest of the queue; stale counters would make every later
+        # fused-eligibility check (fp_pending == 0) fail forever and a
+        # stale bypass window could swallow a legitimate poll.  The
+        # flush already drained the CQEs, so zeroing here is a pure
+        # reset of fast-path bookkeeping.
+        recv_cq = self.recv_cq
+        if recv_cq is not None:
+            recv_cq.fp_pending = 0
+            recv_cq.fp_bypass = False
 
     def _enter_error(self) -> None:
         self.state = "ERROR"
@@ -150,11 +162,11 @@ class QueuePair:
         reach here and stay bit-identical.
         """
         self._fp_table = None
-        self.device.rnic.cost_version += 1
+        self.device.rnic.fence()
         if self.remote is not None:
             remote_node = self.device.node.fabric.nodes.get(self.remote[0])
             if remote_node is not None:
-                remote_node.rnic.cost_version += 1
+                remote_node.rnic.fence()
 
     # -- receive side ----------------------------------------------------
     def post_recv(self, wr: RecvWR) -> None:

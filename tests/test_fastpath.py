@@ -214,6 +214,142 @@ def test_crash_mid_burst_fastpath_ab_identity():
     assert fast[5] >= 1, "the restart must trigger a rejoin"
 
 
+def _run_retry_storm(fastpath: bool):
+    """Loss-driven RPC retry storm against the reply cache.
+
+    Seeded packet loss drops some reply writes on the wire, so the
+    client times out and resends an already-answered token — the server
+    must answer from the reply cache (hit → cached resend) or, when the
+    handler is still running, drop the duplicate (in-flight
+    suppression).  Timed calls stay on the generator client path by
+    design, but their ring appends still commit fused WRITE_IMM chains
+    and the server's recv/reply sides still fuse, so this drives the
+    duplicate-suppression machinery through the fast path under faults.
+    Returns end-state observables + cache hit/install counters.
+    """
+    saved = os.environ.get("REPRO_NO_FASTPATH")
+    _with_fastpath(fastpath)
+    reset_global_counters()
+    try:
+        cluster = Cluster(3)
+        kernels = lite_boot(cluster)
+        sim = cluster.sim
+        plan = FaultPlan().packet_loss(0.08, start_us=10.0)
+        FaultInjector(cluster, plan).install()
+        client = LiteContext(kernels[0], "storm-cli")
+        server = LiteContext(kernels[2], "storm-srv")
+        sim.process(rpc_server_loop(server, 9, lambda data: data[:16] * 2))
+        outcomes = []
+
+        def driver():
+            yield sim.timeout(5)
+            for index in range(120):
+                payload = bytes([index & 0xFF]) * 96
+                try:
+                    reply = yield from client.lt_rpc(
+                        3, 9, payload, max_reply=1024,
+                        timeout=700.0, retries=4,
+                    )
+                    outcomes.append(len(reply))
+                except (LiteError, RpcTimeoutError) as exc:
+                    outcomes.append(type(exc).__name__)
+                    yield sim.timeout(60.0)
+
+        cluster.run_process(driver())
+        sim.run()  # drain straggler retries / late replies
+        snap = dataclasses.asdict(snapshot(cluster))
+        cache = kernels[2].rpc._reply_cache
+        return (sim.now, sim._seq, snap, outcomes,
+                cache.stats.hits, cache.stats.installs)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+
+
+def test_retry_storm_reply_cache_fastpath_ab_identity():
+    """ISSUE 8 satellite: retried tokens must hit the (now LruDict)
+    reply cache identically with the fast path on and off — a fused
+    request delivery that mis-handled duplicate suppression would skew
+    outcomes, sim time, or the cache counters between the modes."""
+    fast = _run_retry_storm(fastpath=True)
+    slow = _run_retry_storm(fastpath=False)
+    assert fast[0] == slow[0], "final sim time diverged"
+    assert fast[1] == slow[1], "event sequence counter diverged"
+    assert fast[2] == slow[2], "cluster snapshot diverged"
+    assert fast[3] == slow[3], "op outcomes diverged"
+    assert fast[4:] == slow[4:], "reply-cache activity diverged"
+    assert fast[4] > 0, \
+        "the storm must actually resend answered tokens (cache hits)"
+
+
+def _run_ring_wrap_burst(fastpath: bool):
+    """An RPC burst on a deliberately tiny ring, forcing mid-burst wraps.
+
+    A wrapped append lands its imm-carrying remainder at the ring start
+    while the imm offset names the pre-wrap tail; ``fp_rpc_gate``'s
+    offset-mismatch detector must drop the primed chain and leave the
+    wrap on the generator path.  Returns end-state observables.
+    """
+    saved = os.environ.get("REPRO_NO_FASTPATH")
+    _with_fastpath(fastpath)
+    reset_global_counters()
+    try:
+        params = SimParams(lite_rpc_ring_bytes=4096)
+        cluster = Cluster(2, params=params)
+        kernels = lite_boot(cluster)
+        sim = cluster.sim
+        client = LiteContext(kernels[0], "wrap-cli")
+        server = LiteContext(kernels[1], "wrap-srv")
+        sim.process(rpc_server_loop(server, 5, lambda data: data[::-1]))
+        payload_sizes = (256, 512, 128, 384)
+        outcomes = []
+
+        def driver():
+            yield sim.timeout(5)
+            for index in range(80):
+                payload = bytes([index & 0xFF]) * payload_sizes[index % 4]
+                reply = yield from client.lt_rpc(
+                    2, 5, payload, max_reply=2048, timeout=None
+                )
+                outcomes.append((len(reply), reply[:4]))
+
+        cluster.run_process(driver())
+        sim.run()
+        # Arithmetic guarantee that the burst wrapped (several times):
+        # every entry is header + payload bytes, all through one ring.
+        appended = sum(20 + size for size in payload_sizes) * 20
+        assert appended > 5 * params.lite_rpc_ring_bytes
+        snap = dataclasses.asdict(snapshot(cluster))
+        return sim.now, sim._seq, snap, outcomes
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+
+
+def test_ring_wrap_mid_burst_fastpath_ab_identity():
+    """ISSUE 8 satellite: ring wrap must invalidate the primed chain.
+    With a 4 KB ring the burst wraps every ~13 calls; the fused path
+    must decline exactly the wrapping appends (generator path handles
+    the two-part write) and stay bit-identical to the slow run."""
+    commits_before = fp_stats.commits
+    attempts_before = fp_stats.attempts
+    fast = _run_ring_wrap_burst(fastpath=True)
+    commits = fp_stats.commits - commits_before
+    attempts = fp_stats.attempts - attempts_before
+    assert commits > 0, "the burst must exercise fused commits"
+    assert attempts > commits, \
+        "wrapping appends must decline the fused chain"
+    slow = _run_ring_wrap_burst(fastpath=False)
+    assert fast[0] == slow[0], "final sim time diverged"
+    assert fast[1] == slow[1], "event sequence counter diverged"
+    assert fast[2] == slow[2], "cluster snapshot diverged"
+    assert fast[3] == slow[3], "op outcomes diverged"
+
+
 def test_kill_switch_disables_commits():
     saved = os.environ.get("REPRO_NO_FASTPATH")
     os.environ["REPRO_NO_FASTPATH"] = "1"

@@ -322,3 +322,34 @@ def test_rpc_memory_is_reclaimed(env):
 
     before, after = run(cluster, proc())
     assert after == before
+
+
+def test_reply_to_dead_marked_client_drops_instead_of_killing_server(env):
+    """A reply toward a dead-marked requester is dropped, never fatal.
+
+    The keep-alive verdict (or a server restart mid-exchange) can flip a
+    client to dead between its request arriving and our reply going out.
+    The reply-direction writes must swallow that ENODEV and count a drop
+    instead of letting LiteError escape the server's poll loop.
+    """
+    cluster, client, server = env
+    echo_server(cluster, server)
+
+    def proc():
+        yield cluster.sim.timeout(1)
+        reply = yield from client.lt_rpc(2, 1, b"warm", max_reply=64)
+        assert reply == b"echo:warm"
+        server.kernel.peers[client.kernel.lite_id].alive = False
+        with pytest.raises(RpcTimeoutError):
+            yield from client.lt_rpc(2, 1, b"lost", max_reply=64,
+                                     timeout=150.0)
+        assert server.kernel.rpc.replies_dropped >= 1
+        # Verdict reversed (a probe got through): the next call must be
+        # answered normally — the server never lost its loop.
+        server.kernel.peers[client.kernel.lite_id].alive = True
+        reply = yield from client.lt_rpc(2, 1, b"back", max_reply=64,
+                                         timeout=500.0, retries=1)
+        assert reply == b"echo:back"
+        return True
+
+    assert run(cluster, proc())

@@ -1,6 +1,7 @@
-"""Cluster composition: nodes, fabric wiring, membership."""
+"""Cluster composition: nodes, fabric wiring, membership, QP pooling."""
 
 from .cluster import Cluster, ClusterManager
 from .node import Node
+from .qp_pool import PooledConn, QPPool
 
-__all__ = ["Cluster", "ClusterManager", "Node"]
+__all__ = ["Cluster", "ClusterManager", "Node", "PooledConn", "QPPool"]

@@ -37,6 +37,12 @@ class ClusterManager:
         # snapshot/restore as empty dicts, so unarmed runs are
         # byte-identical to pre-recovery builds.
         self.leases: Dict[int, float] = {}
+        # QP-lease table (cluster/qp_pool.py): session id -> wire-form
+        # lease entry {holder, peer, conn, expires}.  Authoritative for
+        # pooled-connection leases so a manager restart mid-churn
+        # resumes with every session's expiry intact.  JSON-clean like
+        # the tables above; empty when no pool is in use.
+        self.qp_leases: Dict[int, dict] = {}
 
     def join(self, node: Node) -> int:
         """Register a node; returns its LITE node id (stable, 1-based)."""
@@ -150,6 +156,8 @@ class ClusterManager:
                 for lmr_id, entry in self.replicas.items()
             },
             "leases": dict(self.leases),
+            "qp_leases": {sid: dict(entry)
+                          for sid, entry in self.qp_leases.items()},
         }
 
     @classmethod
@@ -185,6 +193,13 @@ class ClusterManager:
             }
         for lite_id, expiry in snapshot.get("leases", {}).items():
             manager.leases[int(lite_id)] = expiry
+        for sid, entry in snapshot.get("qp_leases", {}).items():
+            manager.qp_leases[int(sid)] = {
+                "holder": int(entry["holder"]),
+                "peer": int(entry["peer"]),
+                "conn": int(entry["conn"]),
+                "expires": entry["expires"],
+            }
         return manager
 
     def __len__(self) -> int:

@@ -1,6 +1,12 @@
 """LITE core: the paper's primary contribution."""
 
-from .api import LiteContext, LiteLock, lite_boot, rpc_server_loop
+from .api import (
+    ClientSession,
+    LiteContext,
+    LiteLock,
+    lite_boot,
+    rpc_server_loop,
+)
 from .errors import ECONNRESET, EIO, ENODEV, ETIMEDOUT, LiteError
 from .kernel import LiteKernel
 from .lmr import ChunkInfo, LmrHandle, MappedLmr, MasterRecord, Permission
@@ -9,6 +15,7 @@ from .rdma import OneSidedEngine, RdmaOpError
 from .rpc import RpcCall, RpcEngine, RpcError, RpcTimeoutError
 
 __all__ = [
+    "ClientSession",
     "LiteKernel",
     "LiteContext",
     "LiteLock",

@@ -15,14 +15,18 @@ import itertools
 from typing import List, Optional, Sequence, Union
 
 from ..obs.trace import traced_op
+from ..verbs import Access, Opcode, SendWR, Sge
+from .errors import ECONNRESET
 from .kernel import LiteError, LiteKernel
 from .lmr import ChunkInfo, LmrHandle, MappedLmr, MasterRecord, Permission
 from .protocol import MsgType
 from .rpc import RpcError, _FusedRecv
 
-__all__ = ["LiteContext", "LiteLock", "lite_boot", "rpc_server_loop"]
+__all__ = ["ClientSession", "LiteContext", "LiteLock", "lite_boot",
+           "rpc_server_loop"]
 
 _anon_counter = itertools.count(start=1)
+_session_counter = itertools.count(start=1)
 
 
 class LiteLock:
@@ -854,6 +858,149 @@ class LiteContext:
         )
         yield from self._exit()
         return old
+
+
+class ClientSession:
+    """A short-lived logical client on a leased pooled connection.
+
+    The unit of the elastic-churn scenario (INTERNALS §15): serverless
+    or autoscaled clients arrive, issue a few ops, and leave, at a rate
+    where *control-plane* cost — not data-plane latency — decides the
+    time to first op.  ``attach()`` leases a reserved RC connection
+    from the kernel's :class:`~repro.cluster.qp_pool.QPPool` toward the
+    peer (pool hit: metadata-only grant) or pays the full cold
+    bring-up (miss); ``write``/``read`` issue one-sided verbs ops
+    against the pool's scratch window on the peer, renewing the lease
+    each time; ``detach()`` deregisters the session MR and returns the
+    conn to the pool.
+
+    MR registration is **lazy** by default — the first op pays Fig 8's
+    pin cost, keeping attach minimal — or **eager** with
+    ``eager_mr=True``, moving that cost into attach so the first op is
+    pure data plane.  The two knobs trade attach latency against
+    time-to-first-op.
+    """
+
+    def __init__(self, ctx: LiteContext, peer_lite_id: int,
+                 session_id: Optional[int] = None, eager_mr: bool = False,
+                 buffer_bytes: int = 4096):
+        self.ctx = ctx
+        self.kernel = ctx.kernel
+        self.sim = ctx.sim
+        self.params = ctx.params
+        self.peer_lite_id = peer_lite_id
+        self.session_id = (next(_session_counter)
+                           if session_id is None else session_id)
+        self.eager_mr = eager_mr
+        self.buffer_bytes = buffer_bytes
+        self.pool = None
+        self.conn = None
+        self.source: Optional[str] = None    # "hit" | "cold"
+        self.mr = None
+        self.attach_at: Optional[float] = None    # attach start (sim us)
+        self.attached_at: Optional[float] = None  # attach completion
+        self.first_op_at: Optional[float] = None  # first op completion
+        self.ops = 0
+
+    @property
+    def time_to_first_op(self) -> Optional[float]:
+        """Attach-start to first-op-completion, or None before then."""
+        if self.first_op_at is None or self.attach_at is None:
+            return None
+        return self.first_op_at - self.attach_at
+
+    def attach(self):
+        """Join: lease a conn — pool hit or cold bring-up (generator).
+
+        Returns the lease source (``"hit"`` or ``"cold"``).
+        """
+        if self.conn is not None:
+            raise LiteError(f"session {self.session_id} already attached")
+        ctx = self.ctx
+        self.attach_at = self.sim.now
+        yield from ctx._enter()
+        self.pool = self.kernel.qp_pool(self.peer_lite_id)
+        self.conn, self.source = yield from self.pool.acquire(self.session_id)
+        if self.eager_mr and self.mr is None:
+            yield from self._register()
+        yield from ctx._exit()
+        self.attached_at = self.sim.now
+        return self.source
+
+    def _register(self):
+        """Register the session's payload MR (Fig 8's base + pin cost)."""
+        self.mr = yield from self.kernel.device.reg_mr(
+            self.kernel.pd, self.buffer_bytes, Access.ALL
+        )
+
+    def write(self, data: bytes, remote_offset: int = 0):
+        """One-sided WRITE of ``data`` into the peer scratch (generator)."""
+        status = yield from self._op(Opcode.WRITE, len(data), data,
+                                     remote_offset)
+        return status
+
+    def read(self, nbytes: int, remote_offset: int = 0):
+        """One-sided READ from the peer scratch (generator)."""
+        status = yield from self._op(Opcode.READ, nbytes, None, remote_offset)
+        return status
+
+    def _op(self, opcode, nbytes: int, data, remote_offset: int):
+        if self.conn is None:
+            raise LiteError(f"session {self.session_id} is not attached")
+        pool = self.pool
+        if remote_offset < 0 or remote_offset + nbytes > pool.scratch.size:
+            raise ValueError("session op exceeds the peer scratch window")
+        ctx = self.ctx
+        yield from ctx._enter()
+        if self.mr is None:
+            # Lazy mode: the first op pays registration.
+            yield from self._register()
+        if data is not None:
+            self.mr.write(0, data)
+        if not pool.renew(self.session_id):
+            # The lease expired (sweeper reclaimed the conn — it may
+            # already be parked or granted to another session): the
+            # session is revoked, never allowed to post on it again.
+            yield from ctx._exit()
+            raise LiteError(
+                f"session {self.session_id} lease expired", errno=ECONNRESET
+            )
+        wr = SendWR(
+            opcode,
+            sgl=[Sge(self.mr, 0, nbytes)],
+            remote_addr=pool.scratch.addr + remote_offset,
+            rkey=pool.peer_rkey,
+        )
+        status = yield self.conn.qp.post_send(wr)
+        yield from ctx._exit()
+        self.ops += 1
+        if self.first_op_at is None:
+            self.first_op_at = self.sim.now
+        return status
+
+    def detach(self):
+        """Leave: dereg the session MR and return the conn (generator).
+
+        Returns True when the conn went back to the pool, False when
+        the lease had already expired (the sweeper reclaimed it).
+        """
+        if self.conn is None:
+            raise LiteError(f"session {self.session_id} is not attached")
+        ctx = self.ctx
+        yield from ctx._enter()
+        if self.mr is not None:
+            yield from self.kernel.device.dereg_mr(self.mr)
+            self.mr = None
+        released = self.pool.release(self.session_id)
+        yield from ctx._exit()
+        self.conn = None
+        self.source = None
+        return released
+
+    def __repr__(self) -> str:
+        state = "attached" if self.conn is not None else "detached"
+        return (f"ClientSession({self.session_id}, peer={self.peer_lite_id}, "
+                f"{state}, source={self.source}, ops={self.ops})")
 
 
 def rpc_server_loop(ctx: LiteContext, func_id: int, handler):

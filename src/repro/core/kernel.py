@@ -118,6 +118,10 @@ class LiteKernel:
             _CTRL_REPLY_CACHE_MAX, name="ctrl-reply")
         self._ctrl_inflight: set = set()
         self._keepalive = None
+        # Control plane: per-peer QP lease pools (cluster/qp_pool.py),
+        # created lazily by qp_pool() or eagerly by connect() when
+        # lite_qp_pool_reserve > 0.  Keyed by peer LITE id.
+        self.qp_pools: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Boot & connection management
@@ -210,6 +214,31 @@ class LiteKernel:
             prime_qp(qp)
         for qp in theirs.qps:
             prime_qp(qp)
+        # Control plane: pre-build reserved leasable conns (KRCORE-style
+        # pooling).  The default reserve of 0 skips pool creation
+        # entirely, keeping the seed's connect() timing byte-identical.
+        if params.lite_qp_pool_reserve > 0:
+            yield from self.qp_pool(other.lite_id).prebuild()
+            yield from other.qp_pool(self.lite_id).prebuild()
+
+    def qp_pool(self, peer_lite_id: int, **overrides):
+        """The QP lease pool toward ``peer_lite_id`` (created lazily).
+
+        ``overrides`` (reserve/cap/lease_ttl_us/sweep_interval_us) only
+        apply on first creation; later calls return the cached pool.
+        """
+        pool = self.qp_pools.get(peer_lite_id)
+        if pool is None:
+            from ..cluster.qp_pool import QPPool
+
+            peer_node = self.manager.lookup(peer_lite_id)
+            if peer_node.lite is None:
+                raise LiteError(
+                    f"LITE {peer_lite_id} is not booted", errno=ENODEV
+                )
+            pool = QPPool(self, peer_node.lite, **overrides)
+            self.qp_pools[peer_lite_id] = pool
+        return pool
 
     def peer(self, lite_id: int, check_alive: bool = True) -> PeerInfo:
         """Connection state toward a LITE instance (incl. loopback).

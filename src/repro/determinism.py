@@ -41,6 +41,7 @@ def reset_global_counters() -> None:
     LiteKernel._token_counter = itertools.count(start=1)
     RpcEngine._token_counter = itertools.count(start=1)
     _api._anon_counter = itertools.count(start=1)
+    _api._session_counter = itertools.count(start=1)
     _lmr._lmr_counter = itertools.count(start=1)
     _lmr._lh_counter = itertools.count(start=1)
     _tcpip._conn_counter = itertools.count(start=1)

@@ -237,6 +237,22 @@ class LruDict:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
 
+    def invalidate_many(self, keys: Iterable[Hashable]) -> int:
+        """Drop every listed entry; returns how many were present.
+
+        Mirrors :meth:`LruCache.invalidate_many`: surviving entries
+        keep their relative insertion order, so the eviction sequence
+        after a batch invalidation matches deleting the same keys from
+        a plain dict one by one.
+        """
+        entries = self._entries
+        count = 0
+        for key in keys:
+            if key in entries:
+                del entries[key]
+                count += 1
+        return count
+
     def clear(self) -> None:
         """Drop every entry (stats retained)."""
         self._entries.clear()

@@ -123,6 +123,17 @@ class SimParams:
     # ---- RDMA-CM ------------------------------------------------------
     rdma_cm_overhead_us: float = 0.12            # event-channel bookkeeping
 
+    # ---- control plane: QP bring-up & pooling (§2.4, KRCORE direction)
+    # The collapsed RTS state machine hides the RESET->INIT->RTR->RTS
+    # ladder from the failure model, not its cost: the control plane
+    # pays one ibv_create_qp kernel call plus three ibv_modify_qp hops
+    # per endpoint when it sets a connection up for real.
+    qp_create_us: float = 12.0                   # ibv_create_qp kernel path
+    qp_transition_us: float = 3.0                # one ibv_modify_qp state hop
+    lite_qp_pool_reserve: int = 0                # prebuilt leasable conns per peer
+    lite_qp_pool_cap: int = 8                    # max parked conns per pool
+    lite_qp_lease_ttl_us: float = 2000.0         # QP-lease TTL (recovery cadence)
+
     derived: dict = field(default_factory=dict, repr=False)
 
     def __setattr__(self, name, value):

@@ -10,7 +10,21 @@ from __future__ import annotations
 
 from ..verbs import Access, Opcode, SendWR, Sge
 
-__all__ = ["RdmaCmChannel", "rdma_cm_connect"]
+__all__ = ["RdmaCmChannel", "cm_handshake", "rdma_cm_connect"]
+
+
+def cm_handshake(node_a, node_b):
+    """The librdmacm connection-establishment exchange (generator).
+
+    ADDR/ROUTE resolution plus the REQ/REP/RTU handshake: three
+    100-byte round trips over the fabric, paid by every connection a
+    CM-style control plane brings up.  Shared by :func:`rdma_cm_connect`
+    and the QP pool's cold bring-up path (cluster/qp_pool.py).
+    """
+    fabric = node_a.fabric
+    for _ in range(3):
+        yield from fabric.transfer(node_a.node_id, node_b.node_id, 100)
+        yield from fabric.transfer(node_b.node_id, node_a.node_id, 100)
 
 
 class RdmaCmChannel:
@@ -56,18 +70,13 @@ def rdma_cm_connect(node_a, node_b, buffer_bytes: int = 1 << 20):
     Returns (channel_a, channel_b).  Includes the CM handshake: route
     resolution + connect request/reply over the fabric.
     """
-    sim = node_a.sim
-    fabric = node_a.fabric
     pd_a = node_a.device.alloc_pd()
     pd_b = node_b.device.alloc_pd()
     mr_a = yield from node_a.device.reg_mr(pd_a, buffer_bytes, Access.ALL)
     mr_b = yield from node_b.device.reg_mr(pd_b, buffer_bytes, Access.ALL)
     qa = node_a.device.create_qp(pd_a, "RC")
     qb = node_b.device.create_qp(pd_b, "RC")
-    # ADDR/ROUTE resolution + REQ/REP/RTU exchange.
-    for _ in range(3):
-        yield from fabric.transfer(node_a.node_id, node_b.node_id, 100)
-        yield from fabric.transfer(node_b.node_id, node_a.node_id, 100)
+    yield from cm_handshake(node_a, node_b)
     node_a.device.connect(qa, qb)
     chan_a = RdmaCmChannel(node_a, qa, mr_a, mr_b.base_addr, mr_b.rkey)
     chan_b = RdmaCmChannel(node_b, qb, mr_b, mr_a.base_addr, mr_a.rkey)

@@ -200,6 +200,20 @@ class RecoveryManager:
             # Each path bumps an RNIC cost_version, so any chain primed
             # before the event can never commit after it.
             node.fastpath_fence()
+        # Pooled control-plane conns (cluster/qp_pool.py): the RNIC
+        # fence above killed their primed tables; mark the pool entries
+        # too, so no lease can ever hand one out again — the pooled-QP
+        # row of the matrix.  The dead node's own pools fence as well:
+        # every conn they park points at a peer that just fenced *it*,
+        # and its sessions' leases die with the node.
+        for kernel in self.kernels:
+            pool = kernel.qp_pools.get(dead_id)
+            if pool is not None:
+                pool.fence_peer()
+        dead_kernel = self._by_id.get(dead_id)
+        if dead_kernel is not None:
+            for pool in dead_kernel.qp_pools.values():
+                pool.fence_peer()
         for lmr_id in sorted(self.manager.replicas):
             entry = self.manager.replicas[lmr_id]
             if entry["failed"]:

@@ -108,6 +108,15 @@ class Device:
         qp_a.connect(qp_b.device.node.node_id, qp_b.qpn)
         qp_b.connect(qp_a.device.node.node_id, qp_a.qpn)
 
+    def destroy_qp(self, qp: QueuePair) -> None:
+        """Tear down a QP (ibv_destroy_qp): drop the device registration
+        and any primed fast-path table.  Disconnecting the *peer* end is
+        the caller's responsibility — the QP pool always destroys conns
+        as pairs."""
+        qp._fp_table = None
+        qp.remote = None
+        self.qps.pop(qp.qpn, None)
+
     # -- memory registration -----------------------------------------------
     def reg_mr(
         self,

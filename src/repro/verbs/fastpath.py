@@ -294,10 +294,20 @@ def _table_for(qp):
     return table
 
 
-def prime_qp(qp) -> None:
-    """Build a QP's cost table eagerly (called at connection setup)."""
+def prime_qp(qp) -> bool:
+    """Build (or revalidate) a QP's cost table eagerly.
+
+    Called at connection setup, and again each time a pooled QP is
+    leased to a session (cluster/qp_pool.py): a conn that sat parked
+    across a fence — peer crash, MR dereg, cache resize — re-primes
+    here instead of paying the table-build stall on the new holder's
+    first op.  A still-valid table is kept as-is.  Returns True when a
+    valid table is in place afterwards.  Host-side only: priming never
+    advances simulated time, so fast and slow runs stay bit-identical.
+    """
     if qp._is_rc and qp.remote is not None:
-        _table_for(qp)
+        return _table_for(qp) is not None
+    return False
 
 
 def try_fast_post(qp, wr, window=None, extra_pad=0, make_handle=False):

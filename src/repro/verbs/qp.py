@@ -108,6 +108,21 @@ class QueuePair:
         self.rnr_retry = params.qp_rnr_retry
 
     # -- connection -----------------------------------------------------
+    def bringup(self):
+        """Pay this endpoint's connection-setup cost (generator).
+
+        The collapsed state machine folds RESET->INIT->RTR->RTS into
+        "RTS" for failure semantics, which historically made every
+        connection free and instant.  The control plane still has to
+        pay for the ladder: one ibv_create_qp kernel call plus three
+        ibv_modify_qp hops, charged in the caller's timeline — exactly
+        the cost QP pooling (cluster/qp_pool.py) exists to amortize.
+        """
+        params = self.device.params
+        cost = params.qp_create_us + 3 * params.qp_transition_us
+        yield self.sim.timeout(cost)
+        self.device.node.cpu.charge("qp-bringup", cost)
+
     def connect(self, remote_node_id: int, remote_qpn: int) -> None:
         """Point this RC/UC QP at its remote peer (RTS)."""
         if self.qp_type == "UD":

@@ -1,15 +1,19 @@
 """Workload generators standing in for the paper's proprietary traces."""
 
+from .churn import ChurnStats, churn_point, run_churn
 from .facebook_kv import FacebookKV
 from .graphgen import degree_histogram, powerlaw_graph
 from .textgen import generate_corpus, vocabulary
 from .zipf import ZipfSampler
 
 __all__ = [
+    "ChurnStats",
     "FacebookKV",
     "ZipfSampler",
+    "churn_point",
     "powerlaw_graph",
     "degree_histogram",
     "generate_corpus",
+    "run_churn",
     "vocabulary",
 ]

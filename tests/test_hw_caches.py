@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hw import LruCache
+from repro.hw.caches import LruDict
 
 
 def test_miss_then_hit():
@@ -115,3 +116,89 @@ def test_property_recently_accessed_key_is_resident(keys):
     for key in keys:
         cache.access(key)
     assert cache.contains(keys[-1])
+
+
+# ---------------------------------------------------------------------------
+# LruDict: the value-carrying sibling (duplicate-suppression caches,
+# QP-pool expiry memo)
+# ---------------------------------------------------------------------------
+def test_lrudict_insertion_order_eviction():
+    cache = LruDict(3)
+    for key in ("a", "b", "c"):
+        cache.put(key, key.upper())
+    # Lookups do NOT bump recency: touching "a" must not save it.
+    assert cache.get("a") == "A"
+    cache.put("d", "D")  # evicts "a", the oldest insertion
+    assert "a" not in cache
+    assert [key for key in ("b", "c", "d") if key in cache] == ["b", "c", "d"]
+    cache.put("e", "E")  # evicts "b"
+    assert "b" not in cache and len(cache) == 3
+
+
+def test_lrudict_overwrite_keeps_position_and_value():
+    cache = LruDict(2)
+    cache.put("x", 1)
+    cache.put("y", 2)
+    cache.put("x", 3)  # overwrite: keeps x's ORIGINAL (oldest) position
+    assert cache.get("x") == 3
+    cache.put("z", 4)  # evicts x (still oldest), not y
+    assert "x" not in cache
+    assert cache.get("y") == 2 and cache.get("z") == 4
+
+
+def test_lrudict_invalidate_many():
+    cache = LruDict(8)
+    for key in range(6):
+        cache.put(key, key * 10)
+    assert cache.invalidate_many([1, 3, 99]) == 2  # 99 absent
+    assert 1 not in cache and 3 not in cache
+    assert len(cache) == 4
+    assert cache.invalidate_many([]) == 0
+    # Survivors keep their relative insertion order: filling back up
+    # evicts 0 first, then 2.
+    for key in ("a", "b", "c", "d"):
+        cache.put(key, key)
+    assert len(cache) == 8
+    cache.put("e", "e")
+    assert 0 not in cache
+    cache.put("f", "f")
+    assert 2 not in cache and 4 in cache and 5 in cache
+
+
+def test_lrudict_stats_and_capacity_validation():
+    with pytest.raises(ValueError):
+        LruDict(0)
+    cache = LruDict(2, name="memo")
+    assert cache.get("missing") is None
+    assert cache.get("missing", default=7) == 7
+    cache.put("k", "v")
+    assert cache.get("k") == "v"
+    assert cache.stats.misses == 2 and cache.stats.hits == 1
+    assert cache.stats.installs == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.installs == 1  # stats survive clear()
+    assert "memo" in repr(cache)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=6),
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=9),
+                  st.integers(min_value=0, max_value=99)),
+        min_size=1, max_size=200,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_lrudict_parity_with_handrolled_eviction(capacity, ops):
+    """put() reproduces the legacy ``while len >= MAX: del oldest`` loop
+    bit for bit — same survivors, same values, same iteration order."""
+    cache = LruDict(capacity)
+    legacy: dict = {}
+    for key, value in ops:
+        if key not in legacy:
+            while len(legacy) >= capacity:
+                del legacy[next(iter(legacy))]
+        legacy[key] = value
+        cache.put(key, value)
+    assert list(cache._entries.items()) == list(legacy.items())

@@ -224,3 +224,103 @@ def test_srq_counts_postings():
     srq.post_recv(RecvWR())
     assert srq.posted == 2
     assert len(srq) == 2
+
+
+# ---------------------------------------------------------------------------
+# QP-lease table (INTERNALS §15): snapshot/restore + mid-churn restart
+# ---------------------------------------------------------------------------
+def test_restore_roundtrips_qp_lease_state():
+    from repro.determinism import reset_global_counters
+
+    reset_global_counters()
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    pool = kernels[0].qp_pool(kernels[1].lite_id, reserve=2)
+
+    def setup():
+        yield from pool.prebuild()
+        yield from pool.acquire(41)
+        yield from pool.acquire(77)
+
+    cluster.run_process(setup())
+    blob = json.dumps(cluster.manager.snapshot())  # must be JSON-clean
+    restored = ClusterManager.restore(json.loads(blob), cluster.nodes)
+    # JSON stringifies dict keys; restore must coerce them back to int.
+    assert set(restored.qp_leases) == {41, 77}
+    assert all(isinstance(key, int) for key in restored.qp_leases)
+    assert restored.qp_leases == cluster.manager.qp_leases
+    entry = restored.qp_leases[41]
+    assert entry["holder"] == kernels[0].lite_id
+    assert entry["peer"] == kernels[1].lite_id
+    assert isinstance(entry["conn"], int)
+    assert entry["expires"] > 0
+    # Restore is idempotent: restoring the same blob twice agrees.
+    again = ClusterManager.restore(json.loads(blob), cluster.nodes)
+    assert again.snapshot() == restored.snapshot()
+
+
+def _churn_with_optional_manager_restart(restart_mid):
+    """Drive short sessions; optionally swap the manager mid-churn.
+
+    The pool reads the lease table through ``kernel.manager`` on every
+    touch, so a restart (restore from a JSON snapshot + swap) must be
+    invisible: leases keep renewing and expiring against the restored
+    table and the rest of the run is bit-identical to a no-restart run.
+    """
+    from repro.core.api import ClientSession
+    from repro.determinism import reset_global_counters
+
+    reset_global_counters()
+    cluster = Cluster(2)
+    kernels = lite_boot(cluster)
+    sim = cluster.sim
+    pool = kernels[0].qp_pool(
+        kernels[1].lite_id, reserve=2, lease_ttl_us=800.0
+    )
+    abandoned = []
+
+    def driver():
+        pool.arm()
+        yield from pool.prebuild()
+        for index in range(10):
+            ctx = LiteContext(kernels[0], f"restart{index}",
+                              kernel_level=True)
+            session = ClientSession(
+                ctx, kernels[1].lite_id, session_id=index + 1,
+                buffer_bytes=128,
+            )
+            yield from session.attach()
+            yield from session.write(b"x" * 128)
+            if index % 3 == 2:
+                abandoned.append(index)  # lease expires via the sweeper
+            else:
+                yield from session.detach()
+            yield sim.timeout(120.0)
+        yield sim.timeout(2000.0)  # let abandoned leases expire
+        pool.stop()
+        yield sim.timeout(pool.sweep_interval_us)
+
+    sim.process(driver(), name="restart-churn-driver")
+    if restart_mid:
+        sim.run(until=600.0)  # mid-churn: some leases live, some expired
+        new_manager = ClusterManager.restore(
+            json.loads(json.dumps(cluster.manager.snapshot())),
+            cluster.nodes,
+        )
+        cluster.manager = new_manager
+        for kernel in kernels:
+            kernel.manager = new_manager
+    sim.run()
+    return (
+        sim.now, sim._seq, pool.hits, pool.misses, pool.expiries,
+        len(abandoned), dict(cluster.manager.qp_leases),
+    )
+
+
+def test_manager_restart_mid_churn_resumes_deterministically():
+    baseline = _churn_with_optional_manager_restart(restart_mid=False)
+    restarted = _churn_with_optional_manager_restart(restart_mid=True)
+    assert baseline == restarted
+    # Sanity on the shape: every lease either released or expired.
+    assert baseline[4] == baseline[5] > 0  # expiries == abandons
+    assert baseline[6] == {}

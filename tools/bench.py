@@ -5,7 +5,7 @@ Unlike ``benchmarks/`` (which reproduce the paper's *simulated-time*
 figures), this tool measures how fast the simulator runs on the host:
 ops per second of wall time, events per second, and peak RSS, over a
 fixed op mix.  Results seed the perf trajectory across PRs — each run
-is recorded under a label in a JSON file (default ``BENCH_pr8.json``)
+is recorded under a label in a JSON file (default ``BENCH_pr9.json``)
 and a ``baseline`` vs ``current`` pair yields the speedup numbers.
 
 Usage:
@@ -248,12 +248,50 @@ def mix_crash_recovery(quick: bool) -> dict:
     }
 
 
+def mix_churn(quick: bool) -> dict:
+    """Elastic-churn control-plane mix: short-lived pooled sessions.
+
+    Drives the INTERNALS §15 scenario end to end — seeded client
+    arrivals, QP-pool lease grant/renew/expire (every 5th client
+    abandons so the sweeper works too), lazy MR registration, and the
+    occasional cold bring-up when arrivals overlap past the reserve.
+    Times the *control plane*: the per-op payloads are small on
+    purpose.  The extra keys (hit/miss split, median time-to-first-op
+    per lease source) are informational; the compare gate only reads
+    events/s.
+    """
+    from repro.workloads.churn import run_churn
+
+    clients = 150 if quick else 600
+    cluster, kernels = _lite_pair()
+    sim = cluster.sim
+    seq_before = sim._seq
+    start = time.perf_counter()
+    stats = run_churn(
+        cluster, kernels, n_clients=clients, seed=0,
+        ops_per_client=4, mean_gap_us=10.0, abandon_every=5,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "ops": stats.ops_ok + stats.ops_failed,
+        "wall_s": wall,
+        "sim_us": sim.now,
+        "events": sim._seq - seq_before,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "ttfo_hit_med_us": stats.median_ttfo("hit"),
+        "ttfo_cold_med_us": stats.median_ttfo("cold"),
+        "expiries": stats.expiries,
+    }
+
+
 MIXES = {
     "small_ops": mix_small_ops,
     "large_msg": mix_large_msg,
     "rpc": mix_rpc,
     "cancel_storm": mix_cancel_storm,
     "crash_recovery": mix_crash_recovery,
+    "churn": mix_churn,
 }
 
 
@@ -499,7 +537,7 @@ def main(argv=None) -> int:
                         help="small op counts (CI smoke run)")
     parser.add_argument("--label", default="current",
                         help="key to record results under (default: current)")
-    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_pr8.json"),
+    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_pr9.json"),
                         help="JSON results file (merged, not overwritten)")
     parser.add_argument("--trace-overhead", action="store_true",
                         help="measure observability-layer overhead only "

@@ -738,7 +738,7 @@ class LiteKernel:
                 for backup, bchunks in msg["replicas"].items()
             }
         for mapping in self.mappings_by_lmr.get(msg["lmr_id"], []):
-            mapping.chunks = new_chunks
+            mapping.retarget(new_chunks)
             if new_master is not None:
                 mapping.master_id = new_master
             if new_replicas is not None:

@@ -124,6 +124,16 @@ class MappedLmr:
         self.master_id = master_id
         # Cleared when the master frees or moves the LMR (FREE_NOTIFY).
         self.valid = True
+        # Remap epoch: bumped every time ``chunks`` is retargeted (LMR
+        # move, failover promotion).  The vectorized fast path's plan
+        # memo (verbs/fastpath.py) folds this into its key, so any
+        # remap — including one racing an in-flight multi-chunk op —
+        # orphans every memoised plan for the old layout.
+        self.plan_version = 0
+        # Plan-memo handles: key -> (CostTable, VecPlan).  Entries are
+        # only ever *used* after revalidating the table stamp and
+        # ``plan_version``; ``retarget()`` clears eagerly anyway.
+        self._fp_plans: Dict = {}
         # Backup LITE id -> chunk list; writes through this mapping fan
         # out to every live backup (empty for unreplicated LMRs, in
         # which case the write path is byte-for-byte unchanged).
@@ -131,6 +141,17 @@ class MappedLmr:
         # Set when the last replica died: reads/writes fail fast with
         # ENODEV instead of timing out against a dead primary.
         self.failed = False
+
+    def retarget(self, chunks: List[ChunkInfo]) -> None:
+        """Point the mapping at a new chunk layout (move / promotion).
+
+        Bumps ``plan_version`` and drops the plan memo, so a vectorized
+        fast-path commit primed against the old layout can never fire
+        again — the next op re-plans against the new chunks.
+        """
+        self.chunks = chunks
+        self.plan_version += 1
+        self._fp_plans.clear()
 
     def plan(self, offset: int, nbytes: int) -> List[Tuple[ChunkInfo, int, int, int]]:
         """Split [offset, offset+nbytes) into per-chunk pieces.

@@ -17,7 +17,7 @@ import struct
 from typing import List
 
 from ..verbs import Opcode, SendWR, WcStatus
-from ..verbs.fastpath import try_fast_post
+from ..verbs.fastpath import try_fast_chain, try_fast_post, try_fast_post_vec
 from .errors import EIO, ENODEV, ETIMEDOUT, LiteError
 from .lmr import MappedLmr
 
@@ -273,6 +273,18 @@ class OneSidedEngine:
         self._check_not_failed(mapping)
         yield from kernel.qos.gate(priority)
         start = self.sim.now
+        # Vectorized commit: the whole fan-out (all pieces remote, each
+        # on its own QP, nothing contended) collapses into one
+        # arithmetic pass with a memoised plan; any decline falls
+        # through to the bit-exact per-piece loop below.
+        handle = try_fast_post_vec(
+            self, mapping, offset, len(data), data, Opcode.WRITE, priority
+        )
+        if handle is not None:
+            yield handle
+            self.writes += 1
+            kernel.qos.observe(priority, self.sim.now - start)
+            return
         procs = []
         # Zero-copy: pieces are memoryview slices of the caller's buffer;
         # the single copy happens at the destination region write.
@@ -326,6 +338,14 @@ class OneSidedEngine:
         self._check_not_failed(mapping)
         yield from kernel.qos.gate(priority)
         start = self.sim.now
+        handle = try_fast_post_vec(
+            self, mapping, offset, nbytes, None, Opcode.READ, priority
+        )
+        if handle is not None:
+            data = yield handle
+            self.reads += 1
+            kernel.qos.observe(priority, self.sim.now - start)
+            return data
         pieces = mapping.plan(offset, nbytes)
         parts: List[bytes] = [b""] * len(pieces)
         procs = []
@@ -568,6 +588,11 @@ class OneSidedEngine:
         recovery path), never allowed to crash the simulation.
         """
         peer = self.kernel.peer(peer_id)
+        # Tri-post chain entry: commits the leg with no WR allocated at
+        # all (extra_pad 3: runner boot + window grant + runner
+        # completion; the chain bumps the wr_id counter itself).
+        if try_fast_chain(self, peer, phys_addr, data, imm, priority) is not None:
+            return
         opcode = Opcode.WRITE if imm is None else Opcode.WRITE_IMM
         wr = SendWR(
             opcode,
@@ -577,12 +602,7 @@ class OneSidedEngine:
             imm=imm,
             signaled=False,
         )
-        # extra_pad 3: runner boot + window grant + runner completion.
-        if self._try_fast(peer, wr, priority, 3, False) is not None:
-            return
 
-        # The WR is reused (not rebuilt) so a declined fast attempt
-        # consumes exactly one wr_id either way.
         def runner():
             try:
                 yield from self._post(peer_id, wr, priority)

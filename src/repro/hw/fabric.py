@@ -53,6 +53,10 @@ class Port:
         self.rx_bytes = 0
         self.up = True
 
+    def idle(self) -> bool:
+        """True when neither channel is occupied (fast-path entry gate)."""
+        return not (self.tx.in_use or self.rx.in_use)
+
 
 class Fabric:
     """Single-switch network connecting all cluster nodes."""
@@ -106,6 +110,21 @@ class Fabric:
         if port is None:
             raise FabricError(f"node {node_id} is not attached to the fabric")
         return port
+
+    def fp_path_clear(self, src_port: Port, dst_port: Port) -> bool:
+        """True when a fast-path commit may model this src→dst path.
+
+        One predicate for the vectorized/chained commits in
+        ``verbs/fastpath.py``: no fault hook armed (the hook is
+        consulted per transfer on the slow path, so any hook at all
+        forces the generator path), both links up, and all four
+        channels idle — src TX/RX and dst TX/RX, because a committed
+        op holds the forward leg now and acquires the return leg
+        mid-flight.
+        """
+        return (self.fault is None
+                and src_port.up and dst_port.up
+                and src_port.idle() and dst_port.idle())
 
     def transfer(self, src: int, dst: int, nbytes: int, flow: object = None):
         """Move ``nbytes`` from ``src`` to ``dst``; completes on arrival.

@@ -69,6 +69,33 @@ def scenario_read64_warm():
     return cluster, tracer
 
 
+def scenario_write_4chunk():
+    """One 64KB LT_write fanning out over four 16KB chunks.
+
+    Locks the multi-chunk op decomposition (per-chunk doorbells, fabric
+    hops, and coalesced completion) that the vectorized fast path
+    (``try_fast_post_vec``) must mirror arithmetically: any drift in the
+    striping schedule shows up here before it can silently re-shape the
+    vectorized cost chains.
+    """
+    from repro.hw.params import SimParams
+
+    reset_global_counters()
+    cluster = Cluster(2, params=SimParams(lite_chunk_bytes=16 * 1024))
+    kernels = lite_boot(cluster)
+    ctx = LiteContext(kernels[0], f"t{kernels[0].lite_id}")
+    state = {}
+
+    def setup():
+        state["lh"] = yield from ctx.lt_malloc(1 << 16, "gold4", nodes=2)
+        yield from ctx.lt_write(state["lh"], 0, b"w" * (1 << 16))
+
+    cluster.run_process(setup())
+    tracer = install_tracer(cluster)
+    cluster.run_process(ctx.lt_write(state["lh"], 0, b"x" * (1 << 16)))
+    return cluster, tracer
+
+
 def scenario_rpc_roundtrip():
     """One 64B RPC round-trip (client + one-shot server)."""
     cluster, (ctx_a, ctx_b) = _booted_pair()
@@ -215,6 +242,7 @@ SCENARIOS = {
     "write64": scenario_write64,
     "read64_cold": scenario_read64_cold,
     "read64_warm": scenario_read64_warm,
+    "write_4chunk": scenario_write_4chunk,
     "rpc_roundtrip": scenario_rpc_roundtrip,
     "recovery_failover": scenario_recovery_failover,
 }

@@ -335,11 +335,11 @@ def test_ring_wrap_mid_burst_fastpath_ab_identity():
     With a 4 KB ring the burst wraps every ~13 calls; the fused path
     must decline exactly the wrapping appends (generator path handles
     the two-part write) and stay bit-identical to the slow run."""
-    commits_before = fp_stats.commits
-    attempts_before = fp_stats.attempts
+    commits_before = fp_stats.commits + fp_stats.chain_commits
+    attempts_before = fp_stats.attempts + fp_stats.chain_attempts
     fast = _run_ring_wrap_burst(fastpath=True)
-    commits = fp_stats.commits - commits_before
-    attempts = fp_stats.attempts - attempts_before
+    commits = fp_stats.commits + fp_stats.chain_commits - commits_before
+    attempts = fp_stats.attempts + fp_stats.chain_attempts - attempts_before
     assert commits > 0, "the burst must exercise fused commits"
     assert attempts > commits, \
         "wrapping appends must decline the fused chain"

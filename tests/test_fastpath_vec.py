@@ -1,0 +1,264 @@
+"""Vectorized multi-chunk fast path: A/B equivalence and crash fencing.
+
+Satellite coverage for the ISSUE 10 tentpole (docs/INTERNALS.md §13):
+``try_fast_post_vec`` commits an entire ``MappedLmr.plan()`` fan-out as
+one arithmetic pass, so every multi-chunk shape must stay *bit-identical*
+to the generator path — local+remote chunk straddles, replica fan-out
+(``replicas=k``), sparse scattered sub-ranges whose plans land on
+different memo keys, active fault plans, and a primary crash mid-transfer
+(failover promotion retargets the mapping and must orphan every memoised
+plan before a stale layout can commit).
+
+As in test_fastpath.py, comparison happens only at quiescence: the
+vectorized commit accounts counters at commit time, so mid-flight
+snapshots may legally differ — end states may not.
+"""
+
+import dataclasses
+import os
+import random
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import LiteContext, LiteError, lite_boot
+from repro.determinism import reset_global_counters
+from repro.fault import FaultInjector, FaultPlan
+from repro.hw.params import SimParams
+from repro.recovery import RecoveryManager
+from repro.stats import snapshot
+from repro.verbs.fastpath import fp_stats
+
+
+# 64 KB chunks: a 256 KB LMR split across two hosts yields four chunks,
+# so modest offsets straddle chunk and host boundaries.
+CHUNK = 64 * 1024
+
+
+def _with_fastpath(enabled):
+    if enabled:
+        os.environ.pop("REPRO_NO_FASTPATH", None)
+    else:
+        os.environ["REPRO_NO_FASTPATH"] = "1"
+
+
+def _run_vec_workload(seed: int, fastpath: bool, faults: bool):
+    """Randomized multi-chunk ops over three LMR shapes; end observables."""
+    saved = os.environ.get("REPRO_NO_FASTPATH")
+    _with_fastpath(fastpath)
+    reset_global_counters()
+    try:
+        params = SimParams(lite_chunk_bytes=CHUNK)
+        cluster = Cluster(3, params=params)
+        kernels = lite_boot(cluster)
+        sim = cluster.sim
+        if faults:
+            plan = FaultPlan.random(
+                seed, [node.node_id for node in cluster.nodes], 60000.0,
+                crashes=0, flaps=1, loss_rate=0.02,
+            )
+            FaultInjector(cluster, plan).install()
+        ctx = LiteContext(kernels[0], "vec", kernel_level=True)
+        holder = {}
+
+        def setup():
+            # Remote-remote straddle: 2 chunks on LITE 2 + 2 on LITE 3.
+            holder["ab"] = yield from ctx.lt_malloc(
+                4 * CHUNK, name="vec-ab", nodes=[2, 3]
+            )
+            # Local+remote straddle: first half loops back through the
+            # caller's own port, second half crosses the wire.
+            holder["loc"] = yield from ctx.lt_malloc(
+                2 * CHUNK, name="vec-loc", nodes=[1, 3]
+            )
+            # Replica fan-out: primary on LITE 2, one full backup.
+            holder["rep"] = yield from ctx.lt_malloc(
+                2 * CHUNK, name="vec-rep", nodes=2, replicas=1
+            )
+
+        cluster.run_process(setup())
+        rng = random.Random(seed)
+        errors = []
+        # Sparse scattered sub-ranges: ops hop between disjoint windows
+        # (holes between them), so plans land on distinct memo keys and
+        # the memo grows past a single hot entry.
+        windows = [0, CHUNK // 2, CHUNK, 2 * CHUNK - 4096, 3 * CHUNK // 2]
+
+        def driver():
+            yield sim.timeout(5)
+            for index in range(70):
+                which = rng.randrange(3)
+                lh = holder[("ab", "loc", "rep")[which]]
+                span = (4 if which == 0 else 2) * CHUNK
+                base = windows[rng.randrange(len(windows))] % span
+                size = rng.choice((256, 4096, 32768, CHUNK, CHUNK + 8192))
+                size = min(size, span - base)
+                try:
+                    if rng.randrange(3) == 0:
+                        data = yield from ctx.lt_read(lh, base, size)
+                        errors.append(len(data))
+                    else:
+                        yield from ctx.lt_write(
+                            lh, base, bytes([index & 0xFF]) * size
+                        )
+                except LiteError as exc:
+                    errors.append((type(exc).__name__, exc.errno))
+
+        cluster.run_process(driver())
+        sim.run()  # drain in-flight tails before comparing
+        snap = dataclasses.asdict(snapshot(cluster))
+        return sim.now, sim._seq, snap, errors
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+
+
+@pytest.mark.parametrize("seed", [3, 41])
+@pytest.mark.parametrize("faults", [False, True])
+def test_vec_equivalence_randomized(seed, faults):
+    vec_before = fp_stats.vec_commits
+    mismodels_before = fp_stats.mismodels
+    fast = _run_vec_workload(seed, fastpath=True, faults=faults)
+    if not faults:
+        assert fp_stats.vec_commits > vec_before, \
+            "the workload must actually exercise vectorized commits"
+        assert fp_stats.mismodels == mismodels_before, \
+            "clean vectorized runs must not widen any hold"
+    slow = _run_vec_workload(seed, fastpath=False, faults=faults)
+    assert fast[0] == slow[0], "final sim time diverged"
+    assert fast[1] == slow[1], "event sequence counter diverged"
+    assert fast[2] == slow[2], "cluster snapshot diverged"
+    assert fast[3] == slow[3], "op outcomes diverged"
+
+
+def test_plan_memo_reused_across_repeats():
+    """Repeating one shape must hit the plan memo, not rebuild it."""
+    saved = os.environ.get("REPRO_NO_FASTPATH")
+    _with_fastpath(True)
+    reset_global_counters()
+    try:
+        params = SimParams(lite_chunk_bytes=CHUNK)
+        cluster = Cluster(3, params=params)
+        kernels = lite_boot(cluster)
+        ctx = LiteContext(kernels[0], "memo", kernel_level=True)
+        holder = {}
+
+        def setup():
+            holder["lh"] = yield from ctx.lt_malloc(
+                4 * CHUNK, name="memo", nodes=[2, 3]
+            )
+
+        cluster.run_process(setup())
+        builds_before = fp_stats.plan_builds
+        hits_before = fp_stats.plan_hits
+
+        def driver():
+            for index in range(8):
+                yield from ctx.lt_write(
+                    holder["lh"], CHUNK // 2, bytes([index]) * (2 * CHUNK)
+                )
+
+        cluster.run_process(driver())
+        cluster.sim.run()
+        assert fp_stats.plan_builds - builds_before <= 2, \
+            "one shape repeated must not rebuild its plan every op"
+        assert fp_stats.plan_hits - hits_before >= 6, \
+            "repeats of one shape must hit the plan memo"
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+
+
+# ---------------------------------------------------------------------------
+# Mid-transfer crash: promotion must orphan memoised plans (ISSUE 10 fix)
+# ---------------------------------------------------------------------------
+def _run_vec_crash_burst(fastpath: bool):
+    """Multi-chunk write burst whose primary crashes mid-burst.
+
+    The LMR is replicated, so the lease sweeper promotes the backup and
+    ``MappedLmr.retarget`` repoints the mapping — any plan memoised
+    against the dead layout must never commit again.  Returns end-state
+    observables plus the recovery lifecycle counts.
+    """
+    saved = os.environ.get("REPRO_NO_FASTPATH")
+    _with_fastpath(fastpath)
+    reset_global_counters()
+    try:
+        params = SimParams(lite_chunk_bytes=CHUNK)
+        cluster = Cluster(3, params=params)
+        kernels = lite_boot(cluster)
+        sim = cluster.sim
+        # Fabric node 1 is LITE 2: the primary's host.
+        plan = FaultPlan().crash(1, 2500.0, restart_at_us=8000.0)
+        injector = FaultInjector(cluster, plan).install()
+        injector.arm_lite(kernels, keepalive_interval_us=500.0, miss_limit=2)
+        recovery = RecoveryManager(
+            cluster, kernels, lease_ttl_us=1500.0,
+            renew_interval_us=400.0, sweep_interval_us=300.0,
+        ).arm()
+        ctx = LiteContext(kernels[0], "vcrash", kernel_level=True)
+        holder = {}
+
+        def setup():
+            holder["lh"] = yield from ctx.lt_malloc(
+                3 * CHUNK, name="vcrash", nodes=2, replicas=1
+            )
+
+        cluster.run_process(setup())
+        lh = holder["lh"]
+        outcomes = []
+
+        def driver():
+            for index in range(40):
+                # Every op straddles at least two chunks, so the burst
+                # rides the vectorized path right up to the crash.
+                offset = (index * 8192) % CHUNK
+                size = CHUNK + 16384
+                try:
+                    yield from ctx.lt_write(
+                        lh, offset, bytes([index & 0xFF]) * size
+                    )
+                    outcomes.append(index)
+                except LiteError as exc:
+                    outcomes.append((type(exc).__name__, exc.errno))
+                    yield sim.timeout(200.0)
+                yield sim.timeout(60.0)
+            if sim.now < 12000.0:
+                yield sim.timeout(12000.0 - sim.now)
+            recovery.stop()
+
+        cluster.run_process(driver())
+        snap = dataclasses.asdict(snapshot(cluster))
+        return (sim.now, sim._seq, snap, outcomes,
+                recovery.promotions, recovery.rejoins)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+
+
+def test_mid_transfer_crash_vec_ab_identity():
+    """A primary crash mid multi-chunk burst must stay bit-identical A/B.
+
+    Guards the ISSUE 10 satellite fix: failover promotion remaps
+    ``lh -> (node, addr)`` via ``MappedLmr.retarget`` (plan_version bump
+    + memo clear) and ``node.fastpath_fence`` drops plan memos cluster-
+    wide — a stale vectorized plan committing against the promoted-away
+    layout would diverge time, seq, snapshot, and outcomes."""
+    vec_before = fp_stats.vec_commits
+    fast = _run_vec_crash_burst(fastpath=True)
+    assert fp_stats.vec_commits > vec_before, \
+        "the burst must actually exercise vectorized commits"
+    slow = _run_vec_crash_burst(fastpath=False)
+    assert fast[0] == slow[0], "final sim time diverged"
+    assert fast[1] == slow[1], "event sequence counter diverged"
+    assert fast[2] == slow[2], "cluster snapshot diverged"
+    assert fast[3] == slow[3], "op outcomes diverged"
+    assert fast[4:] == slow[4:], "recovery lifecycle diverged"
+    assert fast[4] >= 1, "the crash must trigger a promotion"
+    assert fast[5] >= 1, "the restart must trigger a rejoin"

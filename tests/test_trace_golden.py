@@ -63,6 +63,12 @@ def test_golden_read64_warm():
     _check_golden("read64_warm")
 
 
+def test_golden_write_4chunk():
+    """A 64KB write over four 16KB chunks: the per-chunk striping
+    schedule the vectorized fast path replays arithmetically."""
+    _check_golden("write_4chunk")
+
+
 def test_golden_rpc_roundtrip():
     _check_golden("rpc_roundtrip")
 

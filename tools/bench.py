@@ -5,7 +5,7 @@ Unlike ``benchmarks/`` (which reproduce the paper's *simulated-time*
 figures), this tool measures how fast the simulator runs on the host:
 ops per second of wall time, events per second, and peak RSS, over a
 fixed op mix.  Results seed the perf trajectory across PRs — each run
-is recorded under a label in a JSON file (default ``BENCH_pr9.json``)
+is recorded under a label in a JSON file (default ``BENCH_pr10.json``)
 and a ``baseline`` vs ``current`` pair yields the speedup numbers.
 
 Usage:
@@ -98,11 +98,14 @@ def mix_large_msg(quick: bool) -> dict:
     The op counts are deliberately not tiny: at 60 quick ops the whole
     mix ran ~50 ms of wall clock and the CI gate saw events/s spreads
     of ~25% from scheduler jitter alone.  Large ops are cheap enough
-    (~130 us of wall each) that even the quick mix can afford a run
-    north of 100 ms, which is what it takes for the median-of-N gate
-    spread to stay under 10%.
+    (~40 us of wall each now that the vectorized fast path commits the
+    whole chunk fan-out arithmetically) that even the quick mix can
+    afford a run north of 100 ms, which is what it takes for the
+    median-of-N gate spread to stay under 10%.  The 900-op count that
+    cleared that bar before ISSUE 10 finishes in ~35 ms today, so the
+    counts are rescaled to the same de-flake treatment PR 7 gave rpc.
     """
-    ops = 900 if quick else 2_400
+    ops = 3_000 if quick else 8_000
     cluster, kernels = _lite_pair()
     ctx = LiteContext(kernels[0], "bench", kernel_level=True)
     holder = {}
@@ -473,6 +476,20 @@ def compare_gate(results: dict, reference_path: str,
               f"({cur['events_per_s']:,.0f} vs {ref['events_per_s']:,.0f} "
               f"events/s) {verdict}{detail}")
         failed |= not verdict.startswith("ok")
+        # Per-mix RSS marks localize where a leak — e.g. an unbounded
+        # plan memo — first moves the needle.  Informational only: the
+        # marks are process-lifetime high-water values, so in the
+        # multi-pass gate below they inherit earlier passes' peaks and
+        # can't be compared 1:1 against a single-pass reference.  The
+        # *global* peak_rss_kb gate underneath is the failure mechanism
+        # — a real leak compounds across every gate pass and trips it.
+        if ref.get("peak_rss_kb") and cur.get("peak_rss_kb"):
+            mix_growth = cur["peak_rss_kb"] / ref["peak_rss_kb"] - 1.0
+            if mix_growth > rss_budget:
+                print(f"  compare[{name}.peak_rss_kb]: "
+                      f"{cur['peak_rss_kb']:,} vs {ref['peak_rss_kb']:,} KB "
+                      f"({mix_growth:+.1%}) — growth first visible here "
+                      f"(info; the global peak_rss_kb gate decides)")
     ref_rss = reference.get("peak_rss_kb")
     cur_rss = results.get("peak_rss_kb")
     if ref_rss and cur_rss:
@@ -520,6 +537,13 @@ def run_all(quick: bool) -> dict:
         sample = fn(quick)
         sample["ops_per_s"] = sample["ops"] / sample["wall_s"]
         sample["events_per_s"] = sample["events"] / sample["wall_s"]
+        # RSS high-water mark after each mix.  ru_maxrss is a process-
+        # lifetime maximum, so the series is cumulative — but comparing
+        # it mix-by-mix against the reference localizes where growth
+        # first appears (e.g. the vectorized plan memo leaking under
+        # large_msg moves that mix's mark, not only the end-of-run
+        # total where it could hide behind later mixes' noise).
+        sample["peak_rss_kb"] = _peak_rss_kb()
         results[name] = sample
         print(
             f"  {name:>10}: {sample['ops']:>6} ops in {sample['wall_s']:.3f} s "
@@ -537,7 +561,7 @@ def main(argv=None) -> int:
                         help="small op counts (CI smoke run)")
     parser.add_argument("--label", default="current",
                         help="key to record results under (default: current)")
-    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_pr9.json"),
+    parser.add_argument("--out", default=os.path.join(_ROOT, "BENCH_pr10.json"),
                         help="JSON results file (merged, not overwritten)")
     parser.add_argument("--trace-overhead", action="store_true",
                         help="measure observability-layer overhead only "
